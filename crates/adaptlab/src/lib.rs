@@ -1,0 +1,42 @@
+//! AdaptLab: the resilience benchmarking platform of the Phoenix paper.
+//!
+//! AdaptLab emulates realistic cloud environments — up to 100,000 nodes
+//! running real-world microservice dependency graphs — and injects
+//! disasters of varying failure rates to compare resilience schemes on
+//! application metrics (critical service availability) and operator
+//! metrics (revenue, fairness deviation, utilization, planning time).
+//!
+//! The paper drives AdaptLab with 18 application DGs mined from the
+//! Alibaba 2021 cluster traces. That multi-gigabyte dataset is not
+//! available offline, so [`alibaba`] generates synthetic traces calibrated
+//! to every statistic the paper reports (DG sizes 10–3000, 74–82 %
+//! single-upstream services, heavy-tailed call-graph sizes, and the
+//! "80 % of requests from 3 % of microservices" coverage skew) — see
+//! DESIGN.md for the substitution argument and Fig. 17 for the
+//! calibration check.
+//!
+//! * [`alibaba`] — trace generation: DGs, call-graph templates, request
+//!   weights, plus the §3.2/Fig. 17 analysis statistics,
+//! * [`resources`] — CPM-based and Azure-long-tailed resource models,
+//! * [`tagging`] — the four criticality tagging schemes
+//!   (ServiceLevel/FreqBased × P50/P90),
+//! * [`inference`] — §3.2 automated criticality inference from sampled
+//!   call logs, with manual-override support and agreement scoring,
+//! * [`scenario`] — environment instantiation: fill a cluster to a target
+//!   utilization with app instances and place them,
+//! * [`metrics`] — availability / revenue / fairness / utilization,
+//! * [`runner`] — multi-trial failure sweeps over policy rosters (Fig. 7,
+//!   Figs. 10–16),
+//! * [`replay`] — the Fig. 8a requests-served-over-time replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alibaba;
+pub mod inference;
+pub mod metrics;
+pub mod replay;
+pub mod resources;
+pub mod runner;
+pub mod scenario;
+pub mod tagging;

@@ -1,0 +1,298 @@
+//! Multi-trial failure sweeps: the engine behind Fig. 7 and Figs. 10–16.
+//!
+//! For each failure level, fail a random node subset of the baseline
+//! environment, let every policy replan, and score the target states.
+//! Results are averaged over trials with distinct seeds (the paper uses 5).
+
+use phoenix_cluster::failure::{fail_fraction, fail_zones};
+use phoenix_core::policies::ResiliencePolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{evaluate, revenue, SchemeMetrics};
+use crate::scenario::{build_env, EnvConfig};
+
+/// Averaged metrics for one `(policy, failure level)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Policy display name.
+    pub policy: String,
+    /// Fraction of cluster capacity failed (0.0–0.9).
+    pub failure_frac: f64,
+    /// Metrics averaged across trials.
+    pub metrics: SchemeMetrics,
+}
+
+/// How victims are chosen at each failure level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureModel {
+    /// Uniformly random nodes (the paper's sweeps).
+    #[default]
+    Random,
+    /// Whole zones at a time (rack/PDU blast radius), with the given zone
+    /// count striped over node ids.
+    Zoned {
+        /// Number of zones in the cluster.
+        zones: usize,
+    },
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Failure levels to test (e.g. `[0.1, 0.2, …, 0.9]`).
+    pub failure_fracs: Vec<f64>,
+    /// Number of independent trials (seeds); the paper averages 5.
+    pub trials: u64,
+    /// Victim selection model.
+    pub failure_model: FailureModel,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            failure_fracs: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            trials: 5,
+            failure_model: FailureModel::Random,
+        }
+    }
+}
+
+/// Runs the sweep; returns one [`SweepPoint`] per `(policy, level)`,
+/// policies varying fastest.
+pub fn failure_sweep(
+    env_cfg: &EnvConfig,
+    sweep: &SweepConfig,
+    policies: &[Box<dyn ResiliencePolicy>],
+) -> Vec<SweepPoint> {
+    let cells = sweep.failure_fracs.len() * policies.len();
+    let mut acc: Vec<SchemeMetrics> = vec![SchemeMetrics::default(); cells];
+
+    for trial in 0..sweep.trials.max(1) {
+        let mut cfg = env_cfg.clone();
+        cfg.seed = env_cfg.seed.wrapping_add(trial);
+        let env = build_env(&cfg);
+        let baseline_revenue = revenue(&env.workload, &env.baseline);
+
+        for (fi, &frac) in sweep.failure_fracs.iter().enumerate() {
+            let mut failed = env.baseline.clone();
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(fi as u64));
+            match sweep.failure_model {
+                FailureModel::Random => {
+                    fail_fraction(&mut failed, frac, &mut rng);
+                }
+                FailureModel::Zoned { zones } => {
+                    fail_zones(&mut failed, zones.max(1), frac, &mut rng);
+                }
+            }
+
+            for (pi, policy) in policies.iter().enumerate() {
+                let plan = policy.plan(&env.workload, &failed);
+                let m = evaluate(
+                    &env.workload,
+                    &plan.target,
+                    baseline_revenue,
+                    plan.planning_time.as_secs_f64(),
+                );
+                let cell = &mut acc[fi * policies.len() + pi];
+                cell.availability += m.availability;
+                cell.revenue += m.revenue;
+                cell.fairness_pos += m.fairness_pos;
+                cell.fairness_neg += m.fairness_neg;
+                cell.utilization += m.utilization;
+                cell.plan_secs += m.plan_secs;
+            }
+        }
+    }
+
+    let t = sweep.trials.max(1) as f64;
+    sweep
+        .failure_fracs
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, &frac)| {
+            policies.iter().enumerate().map(move |(pi, p)| (fi, frac, pi, p))
+        })
+        .map(|(fi, frac, pi, policy)| {
+            let m = acc[fi * policies.len() + pi];
+            SweepPoint {
+                policy: policy.name().to_string(),
+                failure_frac: frac,
+                metrics: SchemeMetrics {
+                    availability: m.availability / t,
+                    revenue: m.revenue / t,
+                    fairness_pos: m.fairness_pos / t,
+                    fairness_neg: m.fairness_neg / t,
+                    utilization: m.utilization / t,
+                    plan_secs: m.plan_secs / t,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Serializes sweep results to pretty JSON (for plotting pipelines).
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on failure (cannot happen
+/// for valid points).
+pub fn to_json(points: &[SweepPoint]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(points)
+}
+
+/// Restores sweep results from JSON.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error on malformed input.
+pub fn from_json(json: &str) -> Result<Vec<SweepPoint>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Convenience accessor: the point for `(policy, frac)`.
+pub fn point<'a>(points: &'a [SweepPoint], policy: &str, frac: f64) -> Option<&'a SweepPoint> {
+    points
+        .iter()
+        .find(|p| p.policy == policy && (p.failure_frac - frac).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alibaba::AlibabaConfig;
+    use crate::resources::ResourceModel;
+    use crate::tagging::TaggingScheme;
+    use phoenix_core::policies::{DefaultPolicy, FairPolicy, PhoenixPolicy, PriorityPolicy};
+
+    fn quick_env() -> EnvConfig {
+        EnvConfig {
+            nodes: 40,
+            node_capacity: 64.0,
+            target_utilization: 0.7,
+            resource_model: ResourceModel::CallsPerMinute,
+            tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+            alibaba: AlibabaConfig {
+                apps: 5,
+                max_services: 80,
+                max_requests: 40_000.0,
+                ..AlibabaConfig::default()
+            },
+            seed: 3,
+        }
+    }
+
+    fn roster() -> Vec<Box<dyn ResiliencePolicy>> {
+        vec![
+            Box::new(PhoenixPolicy::cost()),
+            Box::new(PhoenixPolicy::fair()),
+            Box::new(PriorityPolicy::default()),
+            Box::new(FairPolicy::default()),
+            Box::new(DefaultPolicy),
+        ]
+    }
+
+    #[test]
+    fn sweep_shapes_match_the_paper() {
+        let points = failure_sweep(
+            &quick_env(),
+            &SweepConfig {
+                failure_fracs: vec![0.1, 0.5, 0.8],
+                trials: 2,
+                ..SweepConfig::default()
+            },
+            &roster(),
+        );
+        assert_eq!(points.len(), 15);
+
+        // Availability decreases with failure severity for every policy.
+        for name in ["PhoenixCost", "PhoenixFair", "Priority", "Fair", "Default"] {
+            let a = point(&points, name, 0.1).unwrap().metrics.availability;
+            let c = point(&points, name, 0.8).unwrap().metrics.availability;
+            assert!(a >= c - 1e-9, "{name}: {a} vs {c}");
+        }
+
+        // The paper's headline: Phoenix beats the non-cooperative baselines
+        // at moderate-to-heavy failure levels.
+        for frac in [0.5, 0.8] {
+            let phx = point(&points, "PhoenixFair", frac)
+                .unwrap()
+                .metrics
+                .availability
+                .max(point(&points, "PhoenixCost", frac).unwrap().metrics.availability);
+            let dfl = point(&points, "Default", frac).unwrap().metrics.availability;
+            assert!(
+                phx >= dfl,
+                "frac {frac}: Phoenix {phx} < Default {dfl}"
+            );
+        }
+
+        // PhoenixCost maximizes revenue among the roster at 50 %.
+        let rev = |n: &str| point(&points, n, 0.5).unwrap().metrics.revenue;
+        assert!(rev("PhoenixCost") + 1e-9 >= rev("Fair"));
+        assert!(rev("PhoenixCost") + 1e-9 >= rev("Default"));
+
+        // PhoenixFair has the smallest total fairness deviation.
+        let dev = |n: &str| {
+            let m = point(&points, n, 0.5).unwrap().metrics;
+            m.fairness_pos + m.fairness_neg
+        };
+        for n in ["Priority", "Default"] {
+            assert!(
+                dev("PhoenixFair") <= dev(n) + 1e-9,
+                "PhoenixFair dev {} vs {n} {}",
+                dev("PhoenixFair"),
+                dev(n)
+            );
+        }
+    }
+
+    #[test]
+    fn zoned_failures_run_and_phoenix_still_leads() {
+        let points = failure_sweep(
+            &quick_env(),
+            &SweepConfig {
+                failure_fracs: vec![0.5],
+                trials: 1,
+                failure_model: FailureModel::Zoned { zones: 8 },
+            },
+            &roster(),
+        );
+        let phx = point(&points, "PhoenixFair", 0.5).unwrap().metrics.availability;
+        let dfl = point(&points, "Default", 0.5).unwrap().metrics.availability;
+        assert!(phx >= dfl, "zoned: {phx} < {dfl}");
+    }
+
+    #[test]
+    fn sweep_results_round_trip_through_json() {
+        let points = failure_sweep(
+            &quick_env(),
+            &SweepConfig {
+                failure_fracs: vec![0.5],
+                trials: 1,
+                ..SweepConfig::default()
+            },
+            &[Box::new(PhoenixPolicy::fair()) as Box<dyn ResiliencePolicy>],
+        );
+        let json = to_json(&points).unwrap();
+        let restored = from_json(&json).unwrap();
+        assert_eq!(points, restored);
+    }
+
+    #[test]
+    fn zero_failure_keeps_full_availability_for_phoenix() {
+        let points = failure_sweep(
+            &quick_env(),
+            &SweepConfig {
+                failure_fracs: vec![0.0],
+                trials: 1,
+                ..SweepConfig::default()
+            },
+            &[Box::new(PhoenixPolicy::fair()) as Box<dyn ResiliencePolicy>],
+        );
+        assert!((points[0].metrics.availability - 1.0).abs() < 1e-9);
+        assert!((points[0].metrics.revenue - 1.0).abs() < 1e-9);
+    }
+}

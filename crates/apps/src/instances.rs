@@ -1,0 +1,136 @@
+//! The five-instance CloudLab workload (Table 4, Fig. 9).
+//!
+//! Three Overleaf instances and two HotelReservation instances share a
+//! 200-CPU cluster (25 × d710 nodes, 8 cores each). Scales and prices are
+//! calibrated so that — as Appendix F.1 reports — all applications together
+//! need ≈70 % of the cluster, the C1:rest split is ≈60:40, and all C1
+//! microservices fit in ≈42 % of capacity (the breaking point used in the
+//! Fig. 5 experiments).
+
+use phoenix_cluster::Resources;
+use phoenix_core::spec::Workload;
+
+use crate::catalog::AppModel;
+use crate::hotel::{hotel, HotelVariant};
+use crate::overleaf::{overleaf, OverleafVariant};
+
+/// Number of CloudLab worker nodes.
+pub const NODES: usize = 25;
+/// Cores per d710 node.
+pub const NODE_CPUS: f64 = 8.0;
+
+/// Builds the five instances with their Table-4 criticality goals.
+///
+/// HotelReservation instances come pre-patched (the §5 error-handling
+/// fixes), as deployed in the evaluation.
+pub fn cloudlab_models() -> Vec<AppModel> {
+    vec![
+        overleaf("overleaf0", OverleafVariant::Edits, 1.0),
+        overleaf("overleaf1", OverleafVariant::Versions, 0.9),
+        overleaf("overleaf2", OverleafVariant::Downloads, 1.1),
+        hotel("hr0", HotelVariant::Search, 1.0).patched(),
+        hotel("hr1", HotelVariant::Reserve, 1.0).patched(),
+    ]
+}
+
+/// Per-unit-resource prices for the cost objective (operator-side input).
+pub const PRICES: [f64; 5] = [3.0, 1.5, 1.0, 2.5, 2.0];
+
+/// The planner-facing workload (specs with prices applied).
+pub fn cloudlab_workload() -> (Workload, Vec<AppModel>) {
+    let mut models = cloudlab_models();
+    for (model, &price) in models.iter_mut().zip(&PRICES) {
+        // Rebuild spec pricing without touching behaviour.
+        let mut spec = model.spec.clone();
+        spec = {
+            // AppSpec is immutable; rebuild through the builder.
+            let mut b = phoenix_core::spec::AppSpecBuilder::new(spec.name());
+            for (i, s) in spec.services().iter().enumerate() {
+                let _ = i;
+                b.add_service(s.name.clone(), s.demand, s.criticality, s.replicas);
+            }
+            if let Some(g) = spec.dependency() {
+                for (f, t) in g.edges() {
+                    b.add_dependency(
+                        phoenix_core::spec::ServiceId::new(f.index() as u32),
+                        phoenix_core::spec::ServiceId::new(t.index() as u32),
+                    );
+                }
+            }
+            b.price_per_unit(price);
+            b.build().expect("rebuilt spec is valid")
+        };
+        model.spec = spec;
+    }
+    let workload = Workload::new(models.iter().map(|m| m.spec.clone()).collect());
+    (workload, models)
+}
+
+/// The 25-node, 200-CPU cluster.
+pub fn cloudlab_capacities() -> Vec<Resources> {
+    vec![Resources::cpu(NODE_CPUS); NODES]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_core::tags::Criticality;
+
+    #[test]
+    fn aggregate_sizing_matches_appendix_f1() {
+        let (w, models) = cloudlab_workload();
+        assert_eq!(w.app_count(), 5);
+        let cluster: f64 = NODES as f64 * NODE_CPUS;
+        let total = w.total_demand().cpu;
+        // All apps ≈70 % of cluster capacity.
+        let frac = total / cluster;
+        assert!((0.60..=0.80).contains(&frac), "total demand {frac}");
+        // C1 ≈ 60:40 against the rest and ≈40 % of cluster.
+        let c1: f64 = models
+            .iter()
+            .map(|m| m.spec.demand_at_criticality(Criticality::C1).cpu)
+            .sum();
+        let c1_share = c1 / total;
+        assert!((0.50..=0.70).contains(&c1_share), "C1 share {c1_share}");
+        let c1_cluster = c1 / cluster;
+        assert!((0.35..=0.50).contains(&c1_cluster), "C1 vs cluster {c1_cluster}");
+    }
+
+    #[test]
+    fn prices_applied_in_order() {
+        let (w, _) = cloudlab_workload();
+        for (i, (_, app)) in w.apps().enumerate() {
+            assert_eq!(app.price_per_unit(), PRICES[i], "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn specs_keep_dependency_graphs_and_goals() {
+        let (w, models) = cloudlab_workload();
+        for (_, app) in w.apps() {
+            assert!(app.dependency().is_some());
+        }
+        assert_eq!(models[0].critical().name, "edits");
+        assert_eq!(models[1].critical().name, "versioning");
+        assert_eq!(models[2].critical().name, "downloads");
+        assert_eq!(models[3].critical().name, "search");
+        assert_eq!(models[4].critical().name, "reserve");
+        // HR instances are patched.
+        assert!(models[3].crash_proof && models[4].crash_proof);
+    }
+
+    #[test]
+    fn every_pod_fits_a_node() {
+        let (w, _) = cloudlab_workload();
+        for (_, app) in w.apps() {
+            for s in app.services() {
+                assert!(
+                    s.demand.cpu <= NODE_CPUS,
+                    "{} {} too big for a node",
+                    app.name(),
+                    s.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Emulated microservice applications for the Phoenix evaluation.
+//!
+//! The paper deploys two real applications on CloudLab: **Overleaf** (a
+//! 14-microservice collaborative LaTeX editor that is diagonal-scaling
+//! compliant out of the box) and **HotelReservation** from DeathStarBench
+//! (which needs small error-handling patches, §5). Their behaviour under
+//! degradation — which request types keep working when which microservices
+//! are off, at what utility — is what the evaluation actually measures.
+//!
+//! This crate models exactly that:
+//!
+//! * [`catalog`] — request types over call paths, crash-proof vs.
+//!   crash-prone error-handling semantics, harvest/yield utilities,
+//! * [`overleaf`] / [`hotel`] — the two applications with their dependency
+//!   graphs, criticality taggings, and request mixes,
+//! * [`instances`] — the five-instance CloudLab workload (Overleaf0/1/2,
+//!   HR0/1 of Table 4/Fig. 9) sized to the 200-CPU cluster,
+//! * [`loadgen`] — fluid-rate load generation with post-recovery backlog
+//!   surges (the spell-check spike of Fig. 6c),
+//! * [`latency`] — the per-hop latency model behind Table 1's P95s,
+//!   including gRPC fail-fast semantics for pruned calls,
+//! * [`shedding`] — §7's complementary degradation modes (request-level
+//!   load shedding, QoS dimming) composed with diagonal scaling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod hotel;
+pub mod instances;
+pub mod latency;
+pub mod loadgen;
+pub mod overleaf;
+pub mod shedding;
+
+pub use catalog::{AppModel, RequestType};

@@ -1,0 +1,50 @@
+//! Criterion bench: Phoenix end-to-end planning latency vs. cluster size
+//! (the microbenchmark behind Fig. 8b's Phoenix curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::scenario::{build_env, AdaptLabEnv, EnvConfig};
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_cluster::failure::fail_fraction;
+use phoenix_cluster::ClusterState;
+use phoenix_core::policies::{PhoenixPolicy, ResiliencePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_of(nodes: usize) -> (AdaptLabEnv, ClusterState) {
+    let env = build_env(&EnvConfig {
+        nodes,
+        node_capacity: 64.0,
+        target_utilization: 0.75,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            max_services: (nodes * 3).min(3000),
+            ..AlibabaConfig::default()
+        },
+        seed: 11,
+        ..EnvConfig::default()
+    });
+    let mut failed = env.baseline.clone();
+    let mut rng = StdRng::seed_from_u64(11);
+    fail_fraction(&mut failed, 0.5, &mut rng);
+    (env, failed)
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phoenix_plan");
+    group.sample_size(10);
+    for nodes in [100usize, 500, 2000] {
+        let (env, failed) = env_of(nodes);
+        for policy in [PhoenixPolicy::fair(), PhoenixPolicy::cost()] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), nodes),
+                &nodes,
+                |b, _| b.iter(|| policy.plan(&env.workload, &failed)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

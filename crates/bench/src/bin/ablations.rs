@@ -1,0 +1,109 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * Algorithm-1 traversal: criticality-guided DFS vs. strict frontier;
+//! * planner saturation: paper's `break` vs. per-app chain retirement;
+//! * packing fit strategy: best-fit vs. first-fit vs. worst-fit;
+//! * migration/repack step: on vs. off.
+
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::metrics::{evaluate, revenue};
+use phoenix_adaptlab::scenario::{build_env, EnvConfig};
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_bench::{arg, f3, secs, Table};
+use phoenix_cluster::failure::fail_fraction;
+use phoenix_cluster::packing::{FitStrategy, PackingConfig};
+use phoenix_core::planner::{PlannerConfig, Traversal};
+use phoenix_core::policies::{PhoenixPolicy, ResiliencePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let nodes: usize = arg("nodes", 1_000);
+    // Long-tailed pod sizes on small nodes make fragmentation real, so the
+    // packing and ordering knobs actually move the metrics.
+    let env = build_env(&EnvConfig {
+        nodes,
+        node_capacity: 32.0,
+        target_utilization: 0.85,
+        resource_model: phoenix_adaptlab::resources::ResourceModel::LongTailed,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            max_services: 240,
+            ..AlibabaConfig::default()
+        },
+        seed: 31,
+    });
+    let mut failed = env.baseline.clone();
+    let mut rng = StdRng::seed_from_u64(31);
+    fail_fraction(&mut failed, 0.6, &mut rng);
+    let base_rev = revenue(&env.workload, &env.baseline);
+
+    let variants: Vec<(String, PhoenixPolicy)> = vec![
+        ("baseline (dfs, retire, best-fit, migration)".into(), PhoenixPolicy::fair()),
+        (
+            "traversal = strict frontier".into(),
+            PhoenixPolicy::fair().planner_config(PlannerConfig {
+                traversal: Traversal::StrictFrontier,
+                continue_on_saturation: true,
+            }),
+        ),
+        (
+            "saturation = paper break".into(),
+            PhoenixPolicy::fair().planner_config(PlannerConfig {
+                traversal: Traversal::CriticalityGuidedDfs,
+                continue_on_saturation: false,
+            }),
+        ),
+        (
+            "fit = first-fit".into(),
+            PhoenixPolicy::fair().packing_config(PackingConfig {
+                fit: FitStrategy::FirstFit,
+                ..PackingConfig::default()
+            }),
+        ),
+        (
+            "fit = worst-fit".into(),
+            PhoenixPolicy::fair().packing_config(PackingConfig {
+                fit: FitStrategy::WorstFit,
+                ..PackingConfig::default()
+            }),
+        ),
+        (
+            "migration off".into(),
+            PhoenixPolicy::fair().packing_config(PackingConfig {
+                enable_migration: false,
+                ..PackingConfig::default()
+            }),
+        ),
+    ];
+
+    let mut t = Table::new([
+        "variant",
+        "availability",
+        "revenue",
+        "utilization",
+        "plan time",
+        "notes",
+    ]);
+    for (name, policy) in &variants {
+        let plan = policy.plan(&env.workload, &failed);
+        let m = evaluate(
+            &env.workload,
+            &plan.target,
+            base_rev,
+            plan.planning_time.as_secs_f64(),
+        );
+        t.row([
+            name.clone(),
+            f3(m.availability),
+            f3(m.revenue),
+            f3(m.utilization),
+            secs(m.plan_secs),
+            plan.notes.clone(),
+        ]);
+    }
+    t.print(&format!(
+        "Ablations at 60% failure, {nodes} nodes ({} apps)",
+        env.workload.app_count()
+    ));
+}

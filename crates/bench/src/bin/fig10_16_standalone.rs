@@ -1,0 +1,80 @@
+//! Figures 10–16 (Appendix F.2): the full sweep of criticality-tagging
+//! schemes × resource models on the AdaptLab cluster.
+//!
+//! Eight configurations: {Service-Level, Freq-Based} × {P50, P90} ×
+//! {CPM, LongTailed}. For each, prints availability / revenue / fairness
+//! at three failure levels. Consistently, Phoenix should lead the
+//! baselines in every cell (the paper's summary of the appendix).
+
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::resources::ResourceModel;
+use phoenix_adaptlab::runner::{failure_sweep, point, SweepConfig};
+use phoenix_adaptlab::scenario::EnvConfig;
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_bench::{arg, f3, Table};
+use phoenix_core::policies::standard_roster;
+
+fn main() {
+    let nodes: usize = arg("nodes", 1_000);
+    let trials: u64 = arg("trials", 2);
+    let fracs = vec![0.1, 0.5, 0.9];
+
+    let schemes = [
+        TaggingScheme::ServiceLevel { percentile: 0.5 },
+        TaggingScheme::ServiceLevel { percentile: 0.9 },
+        TaggingScheme::FrequencyBased { percentile: 0.5 },
+        TaggingScheme::FrequencyBased { percentile: 0.9 },
+    ];
+    let models = [ResourceModel::CallsPerMinute, ResourceModel::LongTailed];
+
+    for model in models {
+        for scheme in schemes {
+            let env = EnvConfig {
+                nodes,
+                node_capacity: 64.0,
+                target_utilization: 0.75,
+                resource_model: model,
+                tagging: scheme,
+                alibaba: AlibabaConfig {
+                    max_services: (nodes * 3).min(3000),
+                    ..AlibabaConfig::default()
+                },
+                seed: 23,
+            };
+            let roster = standard_roster();
+            let points = failure_sweep(
+                &env,
+                &SweepConfig {
+                    failure_fracs: fracs.clone(),
+                    trials,
+                    ..SweepConfig::default()
+                },
+                &roster,
+            );
+            let mut t = Table::new([
+                "failed%",
+                "scheme",
+                "availability",
+                "revenue",
+                "fair-dev",
+            ]);
+            for &frac in &fracs {
+                for p in &roster {
+                    let m = point(&points, p.name(), frac).unwrap().metrics;
+                    t.row([
+                        format!("{:.0}", frac * 100.0),
+                        p.name().to_string(),
+                        f3(m.availability),
+                        f3(m.revenue),
+                        f3(m.fairness_pos + m.fairness_neg),
+                    ]);
+                }
+            }
+            t.print(&format!(
+                "Figs 10–16: {} tagging × {} resources ({nodes} nodes)",
+                scheme.label(),
+                model.label()
+            ));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 17 + §3.2: analysis of the (synthetic) Alibaba workload — the
+//! calibration check for the trace generator.
+//!
+//! (a) app DG size vs. requests served; (b) call-graph size distribution
+//! of the top-4 apps; (c) requests served vs. % microservices enabled
+//! (the Appendix-G coverage LP, greedy at scale, exact on small apps).
+
+use phoenix_adaptlab::alibaba::{generate, stats, AlibabaConfig};
+use phoenix_bench::{arg, f3, Table};
+use phoenix_lp::coverage::{coverage_curve, lp_max_coverage, CoverageInstance};
+use phoenix_lp::SolveOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(arg("seed", 3));
+    let apps = generate(&mut rng, &AlibabaConfig::default());
+
+    // (a) Size vs. requests.
+    let mut t = Table::new(["app", "microservices", "requests"]);
+    for a in &apps {
+        t.row([
+            a.name.clone(),
+            a.graph.node_count().to_string(),
+            format!("{:.0}", a.total_requests()),
+        ]);
+    }
+    t.print("Figure 17a: dependency-graph size vs. user requests served");
+
+    // (b) Call-graph size CDF for the top-4 apps.
+    let mut t = Table::new(["app", "P50 size", "P80 size", "P90 size", "max", "<10 services"]);
+    for a in apps.iter().take(4) {
+        let mut weighted: Vec<(usize, f64)> = a
+            .templates
+            .iter()
+            .map(|tp| (tp.services.len(), tp.weight))
+            .collect();
+        weighted.sort_by_key(|&(s, _)| s);
+        let total: f64 = weighted.iter().map(|&(_, w)| w).sum();
+        let pct = |q: f64| {
+            let mut acc = 0.0;
+            for &(s, w) in &weighted {
+                acc += w;
+                if acc >= total * q {
+                    return s;
+                }
+            }
+            weighted.last().map_or(0, |&(s, _)| s)
+        };
+        let small: f64 = weighted
+            .iter()
+            .filter(|&&(s, _)| s < 10)
+            .map(|&(_, w)| w)
+            .sum::<f64>()
+            / total;
+        t.row([
+            a.name.clone(),
+            pct(0.5).to_string(),
+            pct(0.8).to_string(),
+            pct(0.9).to_string(),
+            weighted.last().unwrap().0.to_string(),
+            f3(small),
+        ]);
+    }
+    t.print("Figure 17b: call-graph size distribution (request-weighted)");
+
+    // (c) Coverage curves: requests served vs. % of microservices enabled.
+    let mut t = Table::new(["app", "1%", "2%", "3%", "5%", "10%"]);
+    for a in apps.iter().take(4) {
+        let inst = CoverageInstance::new(
+            a.graph.node_count(),
+            a.templates
+                .iter()
+                .map(|tp| tp.services.iter().map(|s| s.index()).collect())
+                .collect(),
+            a.templates.iter().map(|tp| tp.weight).collect(),
+        );
+        let n = a.graph.node_count();
+        let budgets: Vec<usize> = [0.01, 0.02, 0.03, 0.05, 0.10]
+            .iter()
+            .map(|f| ((n as f64 * f).round() as usize).max(1))
+            .collect();
+        let curve = coverage_curve(&inst, &budgets);
+        let mut row = vec![a.name.clone()];
+        row.extend(curve.iter().map(|&(_, frac)| f3(frac)));
+        t.row(row);
+    }
+    t.print("Figure 17c: requests served vs. % microservices enabled (greedy)");
+
+    // Exact LP cross-check on a small app (Appendix G's formulation).
+    if let Some(a) = apps.iter().rev().find(|a| a.graph.node_count() <= 40) {
+        let inst = CoverageInstance::new(
+            a.graph.node_count(),
+            a.templates
+                .iter()
+                .map(|tp| tp.services.iter().map(|s| s.index()).collect())
+                .collect(),
+            a.templates.iter().map(|tp| tp.weight).collect(),
+        );
+        let budget = (a.graph.node_count() / 2).max(1);
+        let exact = lp_max_coverage(&inst, budget, &SolveOptions::default());
+        let greedy = phoenix_lp::coverage::greedy_max_coverage(&inst, budget);
+        if let Ok(exact) = exact {
+            println!(
+                "\nExact-vs-greedy cross-check on {} (budget {budget}): LP {:.0} vs greedy {:.0} ({:.1}% of optimal)",
+                a.name,
+                exact.covered_weight,
+                greedy.covered_weight,
+                100.0 * greedy.covered_weight / exact.covered_weight.max(1e-9)
+            );
+        }
+    }
+
+    // §3.2 statistics.
+    let st = stats(&apps);
+    let mut t = Table::new(["statistic", "measured", "paper"]);
+    t.row(["single-upstream (top-4)", &f3(st.single_upstream_top4), "0.74"]);
+    t.row(["single-upstream (all 18)", &f3(st.single_upstream_all), "0.82"]);
+    t.row(["top-4 request share", &f3(st.top4_request_share), "\"most\""]);
+    t.row([
+        "App1 call graphs <10 services",
+        &f3(st.app1_small_template_share),
+        ">0.80",
+    ]);
+    t.print("§3.2 calibration statistics");
+}

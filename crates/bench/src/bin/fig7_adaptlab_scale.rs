@@ -1,0 +1,98 @@
+//! Figure 7: AdaptLab at scale — availability, normalized revenue, and
+//! fairness deviation vs. failure level, Service-Level-P90 tagging +
+//! CPM resources.
+//!
+//! Defaults run a 2 000-node cluster with 3 trials (minutes on one core);
+//! `--full` switches to the paper's 100 000 nodes with 5 trials, and
+//! `--nodes N` / `--trials N` override directly.
+
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::resources::ResourceModel;
+use phoenix_adaptlab::runner::{failure_sweep, point, SweepConfig};
+use phoenix_adaptlab::scenario::EnvConfig;
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_bench::{arg, f3, flag, Table};
+use phoenix_core::policies::standard_roster;
+
+fn main() {
+    let full = flag("full");
+    let nodes: usize = arg("nodes", if full { 100_000 } else { 2_000 });
+    let trials: u64 = arg("trials", if full { 5 } else { 3 });
+    let env = EnvConfig {
+        nodes,
+        node_capacity: 64.0,
+        target_utilization: 0.75,
+        resource_model: ResourceModel::CallsPerMinute,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig::default(),
+        seed: arg("seed", 42),
+    };
+    println!(
+        "AdaptLab: {nodes} nodes × {} cap, Service-Level-P90 + CPM, {trials} trials",
+        env.node_capacity
+    );
+    let sweep = SweepConfig {
+        failure_fracs: (1..=9).map(|i| i as f64 / 10.0).collect(),
+        trials,
+        ..SweepConfig::default()
+    };
+    let roster = standard_roster();
+    let points = failure_sweep(&env, &sweep, &roster);
+
+    let names: Vec<String> = roster.iter().map(|p| p.name().to_string()).collect();
+
+    // (a) Critical service availability.
+    let mut t = Table::new(
+        std::iter::once("failed%".to_string()).chain(names.iter().cloned()),
+    );
+    for &frac in &sweep.failure_fracs {
+        let mut row = vec![format!("{:.0}", frac * 100.0)];
+        for n in &names {
+            row.push(f3(point(&points, n, frac).unwrap().metrics.availability));
+        }
+        t.row(row);
+    }
+    t.print("Figure 7(a): critical service availability vs. failure level");
+
+    // (b) Normalized revenue.
+    let mut t = Table::new(
+        std::iter::once("failed%".to_string()).chain(names.iter().cloned()),
+    );
+    for &frac in &sweep.failure_fracs {
+        let mut row = vec![format!("{:.0}", frac * 100.0)];
+        for n in &names {
+            row.push(f3(point(&points, n, frac).unwrap().metrics.revenue));
+        }
+        t.row(row);
+    }
+    t.print("Figure 7(b): normalized revenue vs. failure level");
+
+    // (c) Fairness deviation at 10/50/90 %.
+    let mut t = Table::new(["failed%", "scheme", "deviation+ ", "deviation-", "total"]);
+    for frac in [0.1, 0.5, 0.9] {
+        for n in &names {
+            let m = point(&points, n, frac).unwrap().metrics;
+            t.row([
+                format!("{:.0}", frac * 100.0),
+                n.clone(),
+                f3(m.fairness_pos),
+                f3(m.fairness_neg),
+                f3(m.fairness_pos + m.fairness_neg),
+            ]);
+        }
+    }
+    t.print("Figure 7(c): deviation from fair share");
+
+    // Planning-time summary (feeds the Fig. 8b claim).
+    let mut t = Table::new(["scheme", "mean plan time (s)"]);
+    for n in &names {
+        let mean: f64 = sweep
+            .failure_fracs
+            .iter()
+            .map(|&f| point(&points, n, f).unwrap().metrics.plan_secs)
+            .sum::<f64>()
+            / sweep.failure_fracs.len() as f64;
+        t.row([n.clone(), format!("{mean:.3}")]);
+    }
+    t.print("Planning time at this scale");
+}

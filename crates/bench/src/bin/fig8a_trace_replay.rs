@@ -1,0 +1,80 @@
+//! Figure 8a: requests served over a 10-minute window while cluster
+//! capacity swings (fail to 40 % at t=120 s, partial restore to 70 % at
+//! t=360 s, full restore at t=480 s).
+//!
+//! Defaults to 1 000 nodes; `--full` uses the paper's 10 000.
+
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::replay::{replay, CapacityScript};
+use phoenix_adaptlab::scenario::{build_env, EnvConfig};
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_bench::{arg, flag, Table};
+use phoenix_core::policies::{
+    DefaultPolicy, FairPolicy, PhoenixPolicy, PriorityPolicy, ResiliencePolicy,
+};
+
+fn main() {
+    let nodes: usize = arg("nodes", if flag("full") { 10_000 } else { 1_000 });
+    let env = build_env(&EnvConfig {
+        nodes,
+        node_capacity: 64.0,
+        target_utilization: 0.75,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig::default(),
+        seed: arg("seed", 7),
+        ..EnvConfig::default()
+    });
+    println!(
+        "Replay environment: {nodes} nodes, {} app instances",
+        env.workload.app_count()
+    );
+    let script: CapacityScript = vec![(0.0, 1.0), (120.0, 0.4), (360.0, 0.7), (480.0, 1.0)];
+    let duration = 600.0;
+    let step = 15.0;
+
+    let policies: Vec<Box<dyn ResiliencePolicy>> = vec![
+        Box::new(PhoenixPolicy::fair()),
+        Box::new(PhoenixPolicy::cost()),
+        Box::new(PriorityPolicy::default()),
+        Box::new(FairPolicy::default()),
+        Box::new(DefaultPolicy),
+    ];
+    let results: Vec<_> = policies
+        .iter()
+        .map(|p| (p.name(), replay(&env, p.as_ref(), &script, duration, step, 11)))
+        .collect();
+
+    let mut header = vec!["t(s)".to_string(), "capacity".to_string()];
+    header.extend(results.iter().map(|(n, _)| format!("{n} rps")));
+    let mut t = Table::new(header);
+    let ticks = results[0].1.ticks.len();
+    for i in 0..ticks {
+        let mut row = vec![
+            format!("{:.0}", results[0].1.ticks[i].t),
+            format!("{:.0}%", results[0].1.ticks[i].capacity_frac * 100.0),
+        ];
+        for (_, r) in &results {
+            row.push(format!("{:.2}", r.ticks[i].served_rps));
+        }
+        t.row(row);
+    }
+    t.print("Figure 8a: requests served under varying capacity");
+
+    let mut t = Table::new(["scheme", "total requests", "vs Fair", "vs Priority"]);
+    let total = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r.total_requests)
+            .unwrap_or(0.0)
+    };
+    for (n, r) in &results {
+        t.row([
+            n.to_string(),
+            format!("{:.0}", r.total_requests),
+            format!("{:.2}x", r.total_requests / total("Fair")),
+            format!("{:.2}x", r.total_requests / total("Priority")),
+        ]);
+    }
+    t.print("Figure 8a: totals over the window");
+}

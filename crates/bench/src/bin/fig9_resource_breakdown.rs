@@ -1,0 +1,53 @@
+//! Figure 9: resource breakdown across criticality levels for the
+//! real-world (CloudLab) experiment.
+
+use phoenix_apps::instances::{cloudlab_workload, NODES, NODE_CPUS};
+use phoenix_bench::{f3, Table};
+
+fn main() {
+    let (workload, _) = cloudlab_workload();
+    let cluster = NODES as f64 * NODE_CPUS;
+    let total = workload.total_demand().cpu;
+
+    let mut per_level: Vec<(u8, f64)> = Vec::new();
+    for (_, app) in workload.apps() {
+        for s in app.service_ids() {
+            let level = app.criticality_of(s).level();
+            let cpu = app.service(s).total_demand().cpu;
+            match per_level.iter_mut().find(|(l, _)| *l == level) {
+                Some((_, acc)) => *acc += cpu,
+                None => per_level.push((level, cpu)),
+            }
+        }
+    }
+    per_level.sort_by_key(|&(l, _)| l);
+
+    let mut table = Table::new(["criticality", "CPU", "% of apps", "% of cluster"]);
+    for &(level, cpu) in &per_level {
+        table.row([
+            format!("C{level}"),
+            format!("{cpu:.1}"),
+            f3(cpu / total),
+            f3(cpu / cluster),
+        ]);
+    }
+    table.row([
+        "total".to_string(),
+        format!("{total:.1}"),
+        f3(1.0),
+        f3(total / cluster),
+    ]);
+    table.print("Figure 9: resources per criticality level (5 CloudLab instances)");
+
+    let c1 = per_level
+        .iter()
+        .find(|(l, _)| *l == 1)
+        .map(|&(_, c)| c)
+        .unwrap_or(0.0);
+    println!(
+        "\nC1 : rest = {:.0} : {:.0}  (paper: ≈60:40); all C1 = {:.1}% of cluster (paper: ≈40%)",
+        100.0 * c1 / total,
+        100.0 * (total - c1) / total,
+        100.0 * c1 / cluster
+    );
+}

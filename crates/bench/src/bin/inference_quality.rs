@@ -1,0 +1,90 @@
+//! Automated criticality inference quality (§3.2, *Automated Criticality
+//! Tagging and Testing*).
+//!
+//! Sweeps the tracing sample rate and reports how well log-based inference
+//! recovers the Frequency-Based-P90 ground-truth tagging on the top-4
+//! Alibaba-like applications: `C1` precision/recall, exact level matches,
+//! services the log never observed, and the request coverage the inferred
+//! `C1` set actually delivers.
+//!
+//! ```sh
+//! cargo run -p phoenix-bench --bin inference_quality --release
+//! ```
+
+use phoenix_adaptlab::alibaba::{generate, AlibabaConfig};
+use phoenix_adaptlab::inference::{
+    agreement, infer_tags, synthesize_log, InferenceConfig, LogConfig,
+};
+use phoenix_adaptlab::tagging::{assign, c1_coverage, TaggingScheme};
+use phoenix_bench::{arg, f3, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let max_services: usize = arg("services", 600);
+    let mut rng = StdRng::seed_from_u64(arg("seed", 7));
+    let apps = generate(
+        &mut rng,
+        &AlibabaConfig {
+            max_services,
+            ..AlibabaConfig::default()
+        },
+    );
+    let top4 = &apps[..4];
+
+    let mut t = Table::new([
+        "sample rate",
+        "C1 precision",
+        "C1 recall",
+        "exact (obs)",
+        "lvl dist (obs)",
+        "unobserved",
+        "C1 coverage",
+    ]);
+    for rate in [0.001, 0.01, 0.05, 0.2, 1.0] {
+        let (mut p, mut r, mut e, mut d, mut cov) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut unobserved = 0usize;
+        for app in top4 {
+            let truth = assign(
+                TaggingScheme::FrequencyBased { percentile: 0.9 },
+                app,
+                &mut rng,
+            );
+            let log = synthesize_log(app, &LogConfig { sample_rate: rate }, &mut rng);
+            let inferred = infer_tags(&log, &InferenceConfig::default());
+            let score = agreement(&inferred, &truth);
+            p += score.c1_precision;
+            r += score.c1_recall;
+            // Exact-level agreement is only meaningful where the log saw
+            // the service at all; never-observed services sit at LOWEST by
+            // design and are counted separately.
+            let counts = log.per_service_counts();
+            let observed: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+            let obs_inferred: Vec<_> = observed.iter().map(|&i| inferred[i]).collect();
+            let obs_truth: Vec<_> = observed.iter().map(|&i| truth[i]).collect();
+            let obs_score = agreement(&obs_inferred, &obs_truth);
+            e += obs_score.exact_match;
+            d += obs_score.mean_level_distance;
+            cov += c1_coverage(app, &inferred);
+            unobserved += log.unobserved().len();
+        }
+        let n = top4.len() as f64;
+        t.row([
+            format!("{:.2}%", rate * 100.0),
+            f3(p / n),
+            f3(r / n),
+            f3(e / n),
+            f3(d / n),
+            unobserved.to_string(),
+            f3(cov / n),
+        ]);
+    }
+    t.print(&format!(
+        "Log-based criticality inference vs Freq-Based-P90 truth (top-4 apps, largest {max_services} services)"
+    ));
+    println!(
+        "\nDense logs recover the C1 set almost exactly (residual misses are the\n\
+         ~1% random background-critical promotions logs cannot reveal); sparse\n\
+         logs leave cold services unobserved — the manual-override case of §3.2."
+    );
+}

@@ -1,0 +1,126 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). This library provides the
+//! text-table renderer, a tiny CLI-flag parser (`--full` switches to
+//! paper-scale runs; the defaults finish in minutes on a laptop core), and
+//! the standard policy roster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A fixed-width text table matching the rows/series the paper plots.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column names.
+    pub fn new(header: impl IntoIterator<Item = impl Display>) -> Table {
+        Table {
+            header: header.into_iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Display>) -> &mut Table {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(&self.rows);
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+    }
+}
+
+/// `true` when `--name` appears on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Value of `--name <v>`, or `default`.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds adaptively (ms below 1 s).
+pub fn secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1}ms", s * 1000.0)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1.0"]);
+        t.row(["longer", "2"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(secs(0.0421), "42.1ms");
+        assert_eq!(secs(12.3), "12.30s");
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::state::{NodeId, PodKey};
+
+/// Errors from cluster-state mutations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Referenced node does not exist.
+    UnknownNode(NodeId),
+    /// Referenced pod is not assigned anywhere.
+    UnknownPod(PodKey),
+    /// Pod is already assigned (assign twice without removing).
+    AlreadyAssigned(PodKey),
+    /// The target node lacks capacity for the demand.
+    InsufficientCapacity {
+        /// The node that was tried.
+        node: NodeId,
+        /// Human-readable sizes for diagnostics.
+        detail: String,
+    },
+    /// Operation requires a healthy node but the node is failed.
+    NodeFailed(NodeId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::UnknownPod(p) => write!(f, "pod {p} is not assigned"),
+            ClusterError::AlreadyAssigned(p) => write!(f, "pod {p} is already assigned"),
+            ClusterError::InsufficientCapacity { node, detail } => {
+                write!(f, "node {node} lacks capacity: {detail}")
+            }
+            ClusterError::NodeFailed(n) => write!(f, "node {n} is failed"),
+        }
+    }
+}
+
+impl Error for ClusterError {}

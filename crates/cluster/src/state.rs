@@ -1,0 +1,451 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{ClusterError, Resources};
+
+/// Identifier of a server in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub fn new(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identity of one container replica: `(application, microservice, replica)`.
+///
+/// `app` and `service` are dense indices assigned by the workload layer;
+/// `replica` distinguishes horizontal copies (Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PodKey {
+    /// Application index.
+    pub app: u32,
+    /// Microservice index within the application.
+    pub service: u32,
+    /// Replica index of the microservice.
+    pub replica: u16,
+}
+
+impl PodKey {
+    /// Creates a pod key.
+    pub fn new(app: u32, service: u32, replica: u16) -> PodKey {
+        PodKey {
+            app,
+            service,
+            replica,
+        }
+    }
+}
+
+impl fmt::Display for PodKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}/ms{}/r{}", self.app, self.service, self.replica)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    capacity: Resources,
+    used: Resources,
+    healthy: bool,
+    pods: Vec<PodKey>,
+}
+
+/// The cluster: nodes with capacities, pod assignments, health status.
+///
+/// This is the state object both the Phoenix scheduler and the baselines
+/// mutate. It is cheap to [`Clone`], which is how the packing module works
+/// on a scratch copy before the agent enforces anything (as §4.2 requires).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterState {
+    nodes: Vec<NodeState>,
+    /// pod -> (node, demand)
+    assignments: HashMap<PodKey, (NodeId, Resources)>,
+}
+
+impl ClusterState {
+    /// Creates a cluster from per-node capacities.
+    pub fn new(capacities: impl IntoIterator<Item = Resources>) -> ClusterState {
+        ClusterState {
+            nodes: capacities
+                .into_iter()
+                .map(|capacity| NodeState {
+                    capacity,
+                    used: Resources::ZERO,
+                    healthy: true,
+                    pods: Vec::new(),
+                })
+                .collect(),
+            assignments: HashMap::new(),
+        }
+    }
+
+    /// Creates `count` identical nodes.
+    pub fn homogeneous(count: usize, capacity: Resources) -> ClusterState {
+        ClusterState::new(std::iter::repeat_n(capacity, count))
+    }
+
+    /// Number of nodes (healthy or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId).collect()
+    }
+
+    /// Number of assigned pods.
+    pub fn pod_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when the node exists and is healthy.
+    pub fn is_healthy(&self, node: NodeId) -> bool {
+        self.nodes.get(node.index()).is_some_and(|n| n.healthy)
+    }
+
+    /// Capacity of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn capacity(&self, node: NodeId) -> Resources {
+        self.nodes[node.index()].capacity
+    }
+
+    /// Resources currently used on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn used(&self, node: NodeId) -> Resources {
+        self.nodes[node.index()].used
+    }
+
+    /// Remaining capacity on `node` (zero when failed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn remaining(&self, node: NodeId) -> Resources {
+        let n = &self.nodes[node.index()];
+        if n.healthy {
+            n.capacity.saturating_sub(&n.used)
+        } else {
+            Resources::ZERO
+        }
+    }
+
+    /// Pods currently running on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn pods_on(&self, node: NodeId) -> &[PodKey] {
+        &self.nodes[node.index()].pods
+    }
+
+    /// Where `pod` runs, if assigned.
+    pub fn node_of(&self, pod: PodKey) -> Option<NodeId> {
+        self.assignments.get(&pod).map(|&(n, _)| n)
+    }
+
+    /// Demand of `pod`, if assigned.
+    pub fn demand_of(&self, pod: PodKey) -> Option<Resources> {
+        self.assignments.get(&pod).map(|&(_, d)| d)
+    }
+
+    /// Iterates `(pod, node, demand)` over all assignments (arbitrary order).
+    pub fn assignments(&self) -> impl Iterator<Item = (PodKey, NodeId, Resources)> + '_ {
+        self.assignments.iter().map(|(&p, &(n, d))| (p, n, d))
+    }
+
+    /// Assigns `pod` with `demand` onto `node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownNode`] / [`ClusterError::NodeFailed`] for bad
+    ///   targets,
+    /// * [`ClusterError::AlreadyAssigned`] when the pod is already placed,
+    /// * [`ClusterError::InsufficientCapacity`] when it does not fit.
+    pub fn assign(
+        &mut self,
+        pod: PodKey,
+        demand: Resources,
+        node: NodeId,
+    ) -> Result<(), ClusterError> {
+        let ns = self
+            .nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if !ns.healthy {
+            return Err(ClusterError::NodeFailed(node));
+        }
+        if self.assignments.contains_key(&pod) {
+            return Err(ClusterError::AlreadyAssigned(pod));
+        }
+        let remaining = ns.capacity.saturating_sub(&ns.used);
+        if !demand.fits_in(&remaining) {
+            return Err(ClusterError::InsufficientCapacity {
+                node,
+                detail: format!("demand {demand} vs remaining {remaining}"),
+            });
+        }
+        ns.used += demand;
+        ns.pods.push(pod);
+        self.assignments.insert(pod, (node, demand));
+        Ok(())
+    }
+
+    /// Removes `pod` from the cluster, freeing its capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownPod`] when the pod is not assigned.
+    pub fn remove(&mut self, pod: PodKey) -> Result<(NodeId, Resources), ClusterError> {
+        let (node, demand) = self
+            .assignments
+            .remove(&pod)
+            .ok_or(ClusterError::UnknownPod(pod))?;
+        let ns = &mut self.nodes[node.index()];
+        ns.used -= demand;
+        ns.used = ns.used.max(&Resources::ZERO);
+        if let Some(pos) = ns.pods.iter().position(|&p| p == pod) {
+            ns.pods.swap_remove(pos);
+        }
+        Ok((node, demand))
+    }
+
+    /// Moves `pod` to `target`, atomically (no-op on failure).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusterState::remove`] + [`ClusterState::assign`].
+    pub fn migrate(&mut self, pod: PodKey, target: NodeId) -> Result<(), ClusterError> {
+        let (source, demand) = self.remove(pod)?;
+        match self.assign(pod, demand, target) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll back.
+                self.assign(pod, demand, source)
+                    .expect("rollback to source node cannot fail");
+                Err(e)
+            }
+        }
+    }
+
+    /// Marks `node` failed, evicting and returning its pods (with demands).
+    ///
+    /// Failing an already-failed node returns an empty list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<(PodKey, Resources)> {
+        let ns = &mut self.nodes[node.index()];
+        if !ns.healthy {
+            return Vec::new();
+        }
+        ns.healthy = false;
+        let pods = std::mem::take(&mut ns.pods);
+        ns.used = Resources::ZERO;
+        pods.into_iter()
+            .map(|p| {
+                let (_, demand) = self.assignments.remove(&p).expect("evicted pod was assigned");
+                (p, demand)
+            })
+            .collect()
+    }
+
+    /// Restores a failed node to service (empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.nodes[node.index()].healthy = true;
+    }
+
+    /// Ids of healthy nodes.
+    pub fn healthy_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.nodes[n.index()].healthy)
+            .collect()
+    }
+
+    /// Total capacity across healthy nodes.
+    pub fn healthy_capacity(&self) -> Resources {
+        self.nodes
+            .iter()
+            .filter(|n| n.healthy)
+            .map(|n| n.capacity)
+            .sum()
+    }
+
+    /// Total capacity across all nodes regardless of health.
+    pub fn total_capacity(&self) -> Resources {
+        self.nodes.iter().map(|n| n.capacity).sum()
+    }
+
+    /// Total resources in use.
+    pub fn total_used(&self) -> Resources {
+        self.nodes.iter().map(|n| n.used).sum()
+    }
+
+    /// Scalar utilization: used / healthy capacity (0 when no capacity).
+    pub fn utilization(&self) -> f64 {
+        self.total_used().fraction_of(&self.healthy_capacity())
+    }
+
+    /// Debug invariant check: per-node `used` equals the sum of its pods'
+    /// demands, and assignment maps agree with node pod lists.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let sum: Resources = n
+                .pods
+                .iter()
+                .map(|p| {
+                    self.assignments
+                        .get(p)
+                        .map(|&(_, d)| d)
+                        .unwrap_or(Resources::ZERO)
+                })
+                .sum();
+            if (sum.cpu - n.used.cpu).abs() > 1e-6 || (sum.mem - n.used.mem).abs() > 1e-6 {
+                return Err(format!("node {i}: used {} != pod sum {sum}", n.used));
+            }
+            if !n.used.fits_in(&n.capacity) {
+                return Err(format!("node {i}: overcommitted {} > {}", n.used, n.capacity));
+            }
+            for p in &n.pods {
+                match self.assignments.get(p) {
+                    Some(&(node, _)) if node.index() == i => {}
+                    other => return Err(format!("pod {p} on node {i} maps to {other:?}")),
+                }
+            }
+        }
+        for (&p, &(node, _)) in &self.assignments {
+            if !self.nodes[node.index()].pods.contains(&p) {
+                return Err(format!("assignment {p} -> {node} missing from node list"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod(a: u32, s: u32) -> PodKey {
+        PodKey::new(a, s, 0)
+    }
+
+    #[test]
+    fn assign_and_remove_roundtrip() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        let n0 = NodeId::new(0);
+        c.assign(pod(0, 0), Resources::cpu(4.0), n0).unwrap();
+        assert_eq!(c.remaining(n0).cpu, 6.0);
+        assert_eq!(c.node_of(pod(0, 0)), Some(n0));
+        let (node, demand) = c.remove(pod(0, 0)).unwrap();
+        assert_eq!(node, n0);
+        assert_eq!(demand.cpu, 4.0);
+        assert_eq!(c.remaining(n0).cpu, 10.0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = ClusterState::homogeneous(1, Resources::cpu(5.0));
+        let n0 = NodeId::new(0);
+        c.assign(pod(0, 0), Resources::cpu(4.0), n0).unwrap();
+        let err = c.assign(pod(0, 1), Resources::cpu(2.0), n0).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        // Exactly-fitting demand is allowed.
+        c.assign(pod(0, 2), Resources::cpu(1.0), n0).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn double_assign_rejected() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(5.0));
+        c.assign(pod(0, 0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        let err = c
+            .assign(pod(0, 0), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap_err();
+        assert_eq!(err, ClusterError::AlreadyAssigned(pod(0, 0)));
+    }
+
+    #[test]
+    fn migrate_moves_capacity() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(5.0));
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        c.assign(pod(0, 0), Resources::cpu(3.0), n0).unwrap();
+        c.migrate(pod(0, 0), n1).unwrap();
+        assert_eq!(c.node_of(pod(0, 0)), Some(n1));
+        assert_eq!(c.remaining(n0).cpu, 5.0);
+        assert_eq!(c.remaining(n1).cpu, 2.0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_rolls_back_on_failure() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(5.0));
+        let (n0, n1) = (NodeId::new(0), NodeId::new(1));
+        c.assign(pod(0, 0), Resources::cpu(3.0), n0).unwrap();
+        c.assign(pod(0, 1), Resources::cpu(4.0), n1).unwrap();
+        let err = c.migrate(pod(0, 0), n1).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        assert_eq!(c.node_of(pod(0, 0)), Some(n0));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fail_node_evicts_and_blocks_assign() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(5.0));
+        let n0 = NodeId::new(0);
+        c.assign(pod(0, 0), Resources::cpu(2.0), n0).unwrap();
+        c.assign(pod(0, 1), Resources::cpu(1.0), n0).unwrap();
+        let evicted = c.fail_node(n0);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(c.pod_count(), 0);
+        assert!(!c.is_healthy(n0));
+        assert_eq!(c.remaining(n0), Resources::ZERO);
+        assert_eq!(c.assign(pod(0, 0), Resources::cpu(1.0), n0), Err(ClusterError::NodeFailed(n0)));
+        // Idempotent failure.
+        assert!(c.fail_node(n0).is_empty());
+        c.restore_node(n0);
+        assert!(c.is_healthy(n0));
+        c.assign(pod(0, 0), Resources::cpu(1.0), n0).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_metrics() {
+        let mut c = ClusterState::new([Resources::cpu(10.0), Resources::cpu(6.0)]);
+        c.assign(pod(0, 0), Resources::cpu(8.0), NodeId::new(0)).unwrap();
+        assert_eq!(c.total_capacity().cpu, 16.0);
+        assert_eq!(c.healthy_capacity().cpu, 16.0);
+        assert!((c.utilization() - 0.5).abs() < 1e-9);
+        c.fail_node(NodeId::new(0));
+        assert_eq!(c.healthy_capacity().cpu, 6.0);
+        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.healthy_nodes(), vec![NodeId::new(1)]);
+    }
+}

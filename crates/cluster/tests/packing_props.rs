@@ -1,0 +1,151 @@
+//! Property tests: the packing heuristic never overcommits a node, never
+//! uses failed nodes, and respects plan membership.
+
+use phoenix_cluster::packing::{pack, FitStrategy, PackingConfig, PlannedPod};
+use phoenix_cluster::{ClusterState, NodeId, PodKey, Resources};
+use proptest::prelude::*;
+
+fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<bool>, u8)> {
+    (
+        proptest::collection::vec(4.0f64..16.0, 1..12),   // node capacities
+        proptest::collection::vec(0.5f64..6.0, 0..40),    // pod demands
+        proptest::collection::vec(any::<bool>(), 1..12),  // failure mask
+        0u8..3,                                           // fit strategy
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packing_invariants_hold((caps, demands, fail_mask, fit) in arb_scenario()) {
+        let mut state = ClusterState::new(caps.iter().map(|&c| Resources::cpu(c)));
+        // Fail some nodes up front (never all of them matters not).
+        for (i, &dead) in fail_mask.iter().enumerate() {
+            if dead && i < caps.len() {
+                state.fail_node(NodeId::new(i as u32));
+            }
+        }
+        let plan: Vec<PlannedPod> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::cpu(d)))
+            .collect();
+        let cfg = PackingConfig {
+            fit: match fit { 0 => FitStrategy::BestFit, 1 => FitStrategy::FirstFit, _ => FitStrategy::WorstFit },
+            ..PackingConfig::default()
+        };
+        let out = pack(&mut state, &plan, &cfg);
+
+        // 1. Bookkeeping is consistent.
+        state.check_invariants().unwrap();
+        // 2. No pod landed on a failed node.
+        for (_, node, _) in state.assignments() {
+            prop_assert!(state.is_healthy(node));
+        }
+        // 3. Placed + unplaced covers exactly the plan.
+        let placed = state.pod_count();
+        prop_assert_eq!(placed + out.unplaced.len(), plan.len());
+        // 4. Rank dominance: if a pod is unplaced, no *placed* pod with a
+        //    strictly lower priority (higher rank index) could have been
+        //    sacrificed to fit it — i.e. every unplaced pod's demand must
+        //    exceed what deleting all lower-ranked pods could free on some
+        //    node. We check the weaker, exact invariant: every placed pod's
+        //    rank is <= max plan rank (trivially true) and the starts list
+        //    only references planned pods.
+        for &(p, _) in &out.starts {
+            prop_assert!(plan.iter().any(|pp| pp.key == p));
+        }
+        // 5. Deletions ∩ final assignments = ∅.
+        for &p in &out.deletions {
+            prop_assert!(state.node_of(p).is_none() || out.starts.iter().any(|&(sp, _)| sp == p));
+        }
+    }
+
+    #[test]
+    fn pack_is_deterministic((caps, demands, fail_mask, fit) in arb_scenario()) {
+        let run = || {
+            let mut state = ClusterState::new(caps.iter().map(|&c| Resources::cpu(c)));
+            for (i, &dead) in fail_mask.iter().enumerate() {
+                if dead && i < caps.len() {
+                    state.fail_node(NodeId::new(i as u32));
+                }
+            }
+            let plan: Vec<PlannedPod> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::cpu(d)))
+                .collect();
+            let cfg = PackingConfig {
+                fit: match fit { 0 => FitStrategy::BestFit, 1 => FitStrategy::FirstFit, _ => FitStrategy::WorstFit },
+                ..PackingConfig::default()
+            };
+            let out = pack(&mut state, &plan, &cfg);
+            let mut assignment: Vec<(PodKey, NodeId)> =
+                state.assignments().map(|(p, n, _)| (p, n)).collect();
+            assignment.sort();
+            (assignment, out.unplaced)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn higher_capacity_never_hurts_placement_count(
+        demands in proptest::collection::vec(0.5f64..6.0, 1..30),
+        base_cap in 8.0f64..12.0,
+        nodes in 2usize..8,
+    ) {
+        let count_placed = |cap: f64| {
+            let mut state = ClusterState::homogeneous(nodes, Resources::cpu(cap));
+            let plan: Vec<PlannedPod> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::cpu(d)))
+                .collect();
+            pack(&mut state, &plan, &PackingConfig::default());
+            state.pod_count()
+        };
+        // Doubling every node's capacity can only place at least as many pods.
+        prop_assert!(count_placed(base_cap * 2.0) >= count_placed(base_cap));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With a per-node pod-count cap configured, no node ever exceeds it —
+    /// across fit strategies, migrations, and the deletion fallback.
+    #[test]
+    fn pod_limit_never_exceeded(
+        (caps, demands, fail_mask, fit) in arb_scenario(),
+        limit in 1usize..6,
+    ) {
+        let mut state = ClusterState::new(caps.iter().map(|&c| Resources::cpu(c)));
+        for (i, &down) in fail_mask.iter().take(caps.len()).enumerate() {
+            if down {
+                state.fail_node(NodeId::new(i as u32));
+            }
+        }
+        let plan: Vec<PlannedPod> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::cpu(d)))
+            .collect();
+        let cfg = PackingConfig {
+            fit: match fit { 0 => FitStrategy::BestFit, 1 => FitStrategy::FirstFit, _ => FitStrategy::WorstFit },
+            max_pods_per_node: Some(limit),
+            ..PackingConfig::default()
+        };
+        let out = pack(&mut state, &plan, &cfg);
+        for n in state.node_ids() {
+            prop_assert!(
+                state.pods_on(n).len() <= limit,
+                "{n} holds {} pods over the {limit} cap",
+                state.pods_on(n).len()
+            );
+        }
+        // Placed + unplaced still accounts for the whole plan.
+        prop_assert_eq!(state.pod_count() + out.unplaced.len(), plan.len());
+        state.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! The agent's task list: delete → migrate → restart (§4.2 and Appendix E).
+//!
+//! The Phoenix agent enforces a target cluster state by issuing actions to
+//! the underlying cluster scheduler in a safe order: deletions free
+//! capacity first, migrations relocate survivors, and restarts bring up
+//! everything that should run but does not. [`diff_states`] derives that
+//! list from (live, target) state pairs, so any planner/policy that
+//! produces a target [`ClusterState`] gets execution for free.
+
+use phoenix_cluster::{ClusterState, NodeId, PodKey};
+
+/// One task for the cluster scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Gracefully shut a pod down (drain traffic, SIGTERM, then SIGKILL).
+    Delete {
+        /// Pod to remove.
+        pod: PodKey,
+        /// Node it currently runs on.
+        node: NodeId,
+    },
+    /// Move a running pod: start on `to`, reroute, delete on `from`.
+    Migrate {
+        /// Pod to move.
+        pod: PodKey,
+        /// Current node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+    /// Start (or restart) a pod on a node.
+    Start {
+        /// Pod to start.
+        pod: PodKey,
+        /// Target node.
+        node: NodeId,
+    },
+}
+
+impl Action {
+    /// The pod this action touches.
+    pub fn pod(&self) -> PodKey {
+        match *self {
+            Action::Delete { pod, .. } | Action::Migrate { pod, .. } | Action::Start { pod, .. } => {
+                pod
+            }
+        }
+    }
+}
+
+/// An ordered action plan (deletions, then migrations, then starts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActionPlan {
+    /// Ordered task list.
+    pub actions: Vec<Action>,
+}
+
+impl ActionPlan {
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when the live state already matches the target.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Counts `(deletes, migrations, starts)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for a in &self.actions {
+            match a {
+                Action::Delete { .. } => c.0 += 1,
+                Action::Migrate { .. } => c.1 += 1,
+                Action::Start { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Computes the action plan that turns `live` into `target`.
+///
+/// * pods in `live` but not `target` → [`Action::Delete`];
+/// * pods on different nodes in the two states → [`Action::Migrate`];
+/// * pods only in `target` → [`Action::Start`].
+///
+/// Within each group, actions are ordered by pod key for determinism.
+pub fn diff_states(live: &ClusterState, target: &ClusterState) -> ActionPlan {
+    let mut deletes = Vec::new();
+    let mut migrations = Vec::new();
+    let mut starts = Vec::new();
+    for (pod, node, _) in live.assignments() {
+        match target.node_of(pod) {
+            None => deletes.push(Action::Delete { pod, node }),
+            Some(t) if t != node => migrations.push(Action::Migrate {
+                pod,
+                from: node,
+                to: t,
+            }),
+            Some(_) => {}
+        }
+    }
+    for (pod, node, _) in target.assignments() {
+        if live.node_of(pod).is_none() {
+            starts.push(Action::Start { pod, node });
+        }
+    }
+    deletes.sort_by_key(Action::pod);
+    migrations.sort_by_key(Action::pod);
+    starts.sort_by_key(Action::pod);
+    let mut actions = deletes;
+    actions.extend(migrations);
+    actions.extend(starts);
+    ActionPlan { actions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_cluster::Resources;
+
+    fn pod(s: u32) -> PodKey {
+        PodKey::new(0, s, 0)
+    }
+
+    #[test]
+    fn diff_identifies_all_action_kinds() {
+        let mut live = ClusterState::homogeneous(3, Resources::cpu(10.0));
+        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        live.assign(pod(1), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        live.assign(pod(2), Resources::cpu(1.0), NodeId::new(1)).unwrap();
+
+        let mut target = ClusterState::homogeneous(3, Resources::cpu(10.0));
+        target.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap(); // kept
+        target.assign(pod(2), Resources::cpu(1.0), NodeId::new(2)).unwrap(); // migrated
+        target.assign(pod(3), Resources::cpu(1.0), NodeId::new(1)).unwrap(); // started
+        // pod(1) deleted.
+
+        let plan = diff_states(&live, &target);
+        assert_eq!(plan.counts(), (1, 1, 1));
+        assert_eq!(
+            plan.actions,
+            vec![
+                Action::Delete {
+                    pod: pod(1),
+                    node: NodeId::new(0)
+                },
+                Action::Migrate {
+                    pod: pod(2),
+                    from: NodeId::new(1),
+                    to: NodeId::new(2)
+                },
+                Action::Start {
+                    pod: pod(3),
+                    node: NodeId::new(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_states_need_no_actions() {
+        let mut live = ClusterState::homogeneous(1, Resources::cpu(10.0));
+        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        let plan = diff_states(&live, &live.clone());
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn ordering_is_delete_migrate_start() {
+        let mut live = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        live.assign(pod(5), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        live.assign(pod(6), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        let mut target = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        target.assign(pod(6), Resources::cpu(1.0), NodeId::new(1)).unwrap();
+        target.assign(pod(7), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        let plan = diff_states(&live, &target);
+        let kinds: Vec<u8> = plan
+            .actions
+            .iter()
+            .map(|a| match a {
+                Action::Delete { .. } => 0,
+                Action::Migrate { .. } => 1,
+                Action::Start { .. } => 2,
+            })
+            .collect();
+        let mut sorted = kinds.clone();
+        sorted.sort_unstable();
+        assert_eq!(kinds, sorted);
+    }
+}

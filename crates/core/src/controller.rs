@@ -1,0 +1,263 @@
+//! The end-to-end Phoenix controller: planner → global ranking → packing →
+//! action plan, with stage timings (Fig. 8b measures exactly this path).
+
+use std::time::{Duration, Instant};
+
+use phoenix_cluster::packing::{pack, PackOutcome, PackingConfig, PlannedPod};
+use phoenix_cluster::ClusterState;
+
+use crate::actions::{diff_states, ActionPlan};
+use crate::objectives::{ObjectiveKind, OperatorObjective};
+use crate::planner::{app_rank, PlannerConfig};
+use crate::ranking::{global_rank, GlobalRank};
+use crate::spec::Workload;
+
+/// Controller configuration: objective + planner + packing knobs.
+#[derive(Debug)]
+pub struct PhoenixConfig {
+    /// Operator objective driving the global ranking.
+    pub objective: Box<dyn OperatorObjective>,
+    /// Planner knobs (traversal mode, saturation policy).
+    pub planner: PlannerConfig,
+    /// Packing knobs (fit strategy, migration, strictness).
+    pub packing: PackingConfig,
+}
+
+impl Default for PhoenixConfig {
+    fn default() -> PhoenixConfig {
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness)
+    }
+}
+
+impl PhoenixConfig {
+    /// Config with a built-in objective and default knobs.
+    pub fn with_objective(kind: ObjectiveKind) -> PhoenixConfig {
+        PhoenixConfig {
+            objective: kind.build(),
+            planner: PlannerConfig {
+                // Phoenix activates per-app chains independently; retiring a
+                // saturated app's chain (instead of stopping the world)
+                // matches the observed behaviour of the reference system.
+                continue_on_saturation: true,
+                ..PlannerConfig::default()
+            },
+            packing: PackingConfig::default(),
+        }
+    }
+}
+
+/// Everything one planning round produces.
+#[derive(Debug)]
+pub struct PlanResult {
+    /// The target cluster state (scratch copy after packing).
+    pub target: ClusterState,
+    /// The global activation list and fair-share bookkeeping.
+    pub rank: GlobalRank,
+    /// Raw packing outcome (deletions/migrations/starts on the scratch).
+    pub packing: PackOutcome,
+    /// Agent task list: live → target.
+    pub actions: ActionPlan,
+    /// Time spent in the planner (priority estimation + global ranking).
+    pub planner_time: Duration,
+    /// Time spent in the scheduler (bin packing).
+    pub scheduler_time: Duration,
+}
+
+impl PlanResult {
+    /// Total planning latency (planner + scheduler), the paper's
+    /// "time to compute a new target state".
+    pub fn total_time(&self) -> Duration {
+        self.planner_time + self.scheduler_time
+    }
+}
+
+/// The Phoenix resilience controller (Figure 3).
+///
+/// Owns the workload description (criticality tags, DGs, prices — the
+/// inputs §5 persists in a storage service) and plans against any cluster
+/// state handed to it.
+#[derive(Debug)]
+pub struct PhoenixController {
+    workload: Workload,
+    config: PhoenixConfig,
+}
+
+impl PhoenixController {
+    /// Creates a controller for `workload`.
+    pub fn new(workload: Workload, config: PhoenixConfig) -> PhoenixController {
+        PhoenixController { workload, config }
+    }
+
+    /// The workload this controller manages.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Mutable access to the configuration (for ablations).
+    pub fn config_mut(&mut self) -> &mut PhoenixConfig {
+        &mut self.config
+    }
+
+    /// Plans a new target state for the (possibly degraded) `state`.
+    ///
+    /// `state` is *not* mutated; packing happens on a scratch copy that is
+    /// returned as [`PlanResult::target`].
+    pub fn plan(&self, state: &ClusterState) -> PlanResult {
+        plan_with(&self.workload, state, &self.config)
+    }
+}
+
+/// The controller pipeline as a free function over borrowed inputs —
+/// policies and sweeps call this directly so multi-million-pod workloads
+/// are never cloned per planning round.
+pub fn plan_with(workload: &Workload, state: &ClusterState, config: &PhoenixConfig) -> PlanResult {
+    // --- Planner -------------------------------------------------------
+    let t0 = Instant::now();
+    let app_ranks: Vec<_> = workload
+        .apps()
+        .map(|(_, a)| app_rank(a, config.planner.traversal))
+        .collect();
+    let capacity = state.healthy_capacity();
+    let rank = global_rank(
+        workload,
+        &app_ranks,
+        config.objective.as_ref(),
+        capacity,
+        &config.planner,
+    );
+    let planner_time = t0.elapsed();
+
+    // --- Scheduler -----------------------------------------------------
+    let t1 = Instant::now();
+    let plan: Vec<PlannedPod> = rank
+        .items
+        .iter()
+        .flat_map(|item| {
+            let svc = workload.app(item.app).service(item.service);
+            workload
+                .pod_keys(item.app, item.service)
+                .into_iter()
+                .map(move |key| PlannedPod::new(key, svc.demand))
+        })
+        .collect();
+    let mut target = state.clone();
+    let packing = pack(&mut target, &plan, &config.packing);
+    let scheduler_time = t1.elapsed();
+
+    let actions = diff_states(state, &target);
+    PlanResult {
+        target,
+        rank,
+        packing,
+        actions,
+        planner_time,
+        scheduler_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppSpecBuilder, ServiceId};
+    use crate::tags::Criticality;
+    use phoenix_cluster::{NodeId, PodKey, Resources};
+
+    /// Two apps, 6 CPUs each at full strength.
+    fn workload() -> Workload {
+        let mut apps = Vec::new();
+        for name in ["a", "b"] {
+            let mut b = AppSpecBuilder::new(name);
+            let fe = b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+            let mid = b.add_service("mid", Resources::cpu(2.0), Some(Criticality::C2), 1);
+            let opt = b.add_service("opt", Resources::cpu(2.0), Some(Criticality::C5), 1);
+            b.add_dependency(fe, mid);
+            b.add_dependency(mid, opt);
+            apps.push(b.build().unwrap());
+        }
+        Workload::new(apps)
+    }
+
+    #[test]
+    fn plans_full_activation_when_capacity_allows() {
+        let w = workload();
+        let c = PhoenixController::new(w, PhoenixConfig::default());
+        let state = ClusterState::homogeneous(4, Resources::cpu(4.0));
+        let result = c.plan(&state);
+        assert_eq!(result.target.pod_count(), 6);
+        assert!(result.packing.unplaced.is_empty());
+        // All actions are starts on a fresh cluster.
+        let (d, m, s) = result.actions.counts();
+        assert_eq!((d, m), (0, 0));
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn degrades_to_critical_services_under_crunch() {
+        let w = workload();
+        let c = PhoenixController::new(w, PhoenixConfig::default());
+        // Only 6 CPUs healthy (3×2): fair share 3 per app → both C1
+        // frontends activate, one C2 squeezes into the leftover aggregate,
+        // and no C5 makes the cut.
+        let state = ClusterState::homogeneous(3, Resources::cpu(2.0));
+        let result = c.plan(&state);
+        // Both C1s are planned; C5s are not.
+        let planned: Vec<PodKey> = result.target.assignments().map(|(p, _, _)| p).collect();
+        assert!(planned.contains(&PodKey::new(0, 0, 0)));
+        assert!(planned.contains(&PodKey::new(1, 0, 0)));
+        assert!(!planned.iter().any(|p| p.service == 2));
+    }
+
+    #[test]
+    fn cost_objective_prefers_high_payers() {
+        let mut apps = Vec::new();
+        for (name, price) in [("cheap", 1.0), ("rich", 10.0)] {
+            let mut b = AppSpecBuilder::new(name);
+            b.add_service("s0", Resources::cpu(2.0), Some(Criticality::C1), 1);
+            b.add_service("s1", Resources::cpu(2.0), Some(Criticality::C2), 1);
+            b.price_per_unit(price);
+            apps.push(b.build().unwrap());
+        }
+        let c = PhoenixController::new(
+            Workload::new(apps),
+            PhoenixConfig::with_objective(ObjectiveKind::Cost),
+        );
+        let state = ClusterState::homogeneous(1, Resources::cpu(4.0));
+        let result = c.plan(&state);
+        // 4 CPUs: the rich app gets both services, the cheap one nothing.
+        assert_eq!(result.rank.allocated, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn plan_does_not_mutate_live_state() {
+        let w = workload();
+        let c = PhoenixController::new(w, PhoenixConfig::default());
+        let state = ClusterState::homogeneous(4, Resources::cpu(4.0));
+        let before = state.pod_count();
+        let _ = c.plan(&state);
+        assert_eq!(state.pod_count(), before);
+    }
+
+    #[test]
+    fn survivors_kept_failures_restarted() {
+        let w = workload();
+        let c = PhoenixController::new(w, PhoenixConfig::default());
+        let mut state = ClusterState::homogeneous(4, Resources::cpu(4.0));
+        // Run everything, then fail one node.
+        let full = c.plan(&state);
+        for (pod, node, demand) in full.target.assignments() {
+            let _ = demand;
+            state.assign(pod, full.target.demand_of(pod).unwrap(), node).unwrap();
+        }
+        let victims = state.pods_on(NodeId::new(0)).to_vec();
+        assert!(!victims.is_empty());
+        state.fail_node(NodeId::new(0));
+        let replan = c.plan(&state);
+        // Survivors stay on their nodes.
+        for (pod, node, _) in state.assignments() {
+            assert_eq!(replan.target.node_of(pod), Some(node), "{pod} moved");
+        }
+        // Planner/scheduler timings are recorded.
+        assert!(replan.total_time() >= replan.planner_time);
+        let _ = ServiceId::new(0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The Phoenix **Priority Estimator** (Algorithm 1): per-application
+//! activation order from criticality tags and (optionally) the dependency
+//! graph.
+//!
+//! Two guarantees drive the ordering (LP constraints Eq. 1 and Eq. 2):
+//!
+//! * *criticality*: more-critical services come first, and
+//! * *topology*: no service appears before at least one of its callers
+//!   (so every activated prefix is a connected, servable subgraph).
+//!
+//! Those can conflict — a `C1` service reachable only through a `C3` proxy
+//! must wait for the proxy. The two [`Traversal`] modes resolve the tension
+//! differently; both satisfy Eq. 2 exactly and Eq. 1 to the extent topology
+//! allows (see `tests` and the ablation bench).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use phoenix_dgraph::{DiGraph, NodeId};
+
+use crate::spec::{AppSpec, ServiceId};
+use crate::tags::Criticality;
+
+/// Strategy for walking the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Traversal {
+    /// The paper's Algorithm 1: a pre-order DFS that keeps descending while
+    /// the child is at least as critical as the current node, deferring
+    /// less-critical children to a criticality-keyed priority queue.
+    #[default]
+    CriticalityGuidedDfs,
+    /// Kahn-style frontier: among all services whose predecessor already
+    /// appears in the order, always take the most critical next. Strictest
+    /// Eq.-1 adherence; slightly less locality than the DFS.
+    StrictFrontier,
+}
+
+/// Planner configuration shared by the priority estimator and the global
+/// ranker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerConfig {
+    /// Dependency-graph walk strategy.
+    pub traversal: Traversal,
+    /// When the next-ranked container no longer fits the aggregate
+    /// capacity, `false` stops the whole global ranking (the paper's
+    /// `break`); `true` only retires that application's chain and keeps
+    /// ranking the others.
+    pub continue_on_saturation: bool,
+}
+
+/// Computes the activation order of one application's services.
+///
+/// Applications without dependency graphs are ordered purely by
+/// criticality (ties by service index, Algorithm 1 lines 17–19).
+pub fn app_rank(app: &AppSpec, traversal: Traversal) -> Vec<ServiceId> {
+    match app.dependency() {
+        None => {
+            let mut ids: Vec<ServiceId> = app.service_ids().collect();
+            ids.sort_by_key(|&s| (app.criticality_of(s), s));
+            ids
+        }
+        Some(graph) => match traversal {
+            Traversal::CriticalityGuidedDfs => criticality_guided_dfs(app, graph),
+            Traversal::StrictFrontier => strict_frontier(app, graph),
+        },
+    }
+}
+
+type Keyed = Reverse<(Criticality, NodeId)>;
+
+fn key(app: &AppSpec, n: NodeId) -> Keyed {
+    Reverse((app.criticality_of(ServiceId(n.index() as u32)), n))
+}
+
+/// Algorithm 1, lines 5–16 (with the comparison read so that the DFS
+/// descends into children *at least as critical* as the current node; see
+/// DESIGN.md for why the printed `>=` is interpreted this way).
+fn criticality_guided_dfs(app: &AppSpec, graph: &DiGraph<()>) -> Vec<ServiceId> {
+    let mut order: Vec<ServiceId> = Vec::with_capacity(graph.node_count());
+    let mut visited = vec![false; graph.node_count()];
+    let mut q: BinaryHeap<Keyed> = graph.sources().map(|n| key(app, n)).collect();
+
+    // Iterative DFS with the paper's descend/defer rule.
+    let mut stack: Vec<NodeId> = Vec::new();
+    while let Some(Reverse((_, start))) = q.pop() {
+        if visited[start.index()] {
+            continue;
+        }
+        stack.push(start);
+        while let Some(node) = stack.pop() {
+            if visited[node.index()] {
+                continue;
+            }
+            visited[node.index()] = true;
+            order.push(ServiceId(node.index() as u32));
+            let node_crit = app.criticality_of(ServiceId(node.index() as u32));
+            for &child in graph.successors(node).iter().rev() {
+                if visited[child.index()] {
+                    continue;
+                }
+                let child_crit = app.criticality_of(ServiceId(child.index() as u32));
+                if child_crit.is_at_least_as_critical_as(node_crit) {
+                    stack.push(child);
+                } else {
+                    q.push(key(app, child));
+                }
+            }
+        }
+    }
+    append_unreached(app, graph, &visited, &mut order);
+    order
+}
+
+/// Kahn-style most-critical-ready-first ordering.
+fn strict_frontier(app: &AppSpec, graph: &DiGraph<()>) -> Vec<ServiceId> {
+    let mut order: Vec<ServiceId> = Vec::with_capacity(graph.node_count());
+    let mut visited = vec![false; graph.node_count()];
+    let mut queued = vec![false; graph.node_count()];
+    let mut q: BinaryHeap<Keyed> = BinaryHeap::new();
+    for n in graph.sources() {
+        queued[n.index()] = true;
+        q.push(key(app, n));
+    }
+    while let Some(Reverse((_, node))) = q.pop() {
+        if visited[node.index()] {
+            continue;
+        }
+        visited[node.index()] = true;
+        order.push(ServiceId(node.index() as u32));
+        for &child in graph.successors(node) {
+            if !visited[child.index()] && !queued[child.index()] {
+                queued[child.index()] = true;
+                q.push(key(app, child));
+            }
+        }
+    }
+    append_unreached(app, graph, &visited, &mut order);
+    order
+}
+
+/// Services unreachable from any source (cycles with no external entry)
+/// still need a slot in the order; they go last, most critical first.
+fn append_unreached(
+    app: &AppSpec,
+    graph: &DiGraph<()>,
+    visited: &[bool],
+    order: &mut Vec<ServiceId>,
+) {
+    let mut rest: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|n| !visited[n.index()])
+        .collect();
+    if rest.is_empty() {
+        return;
+    }
+    rest.sort_by_key(|&n| (app.criticality_of(ServiceId(n.index() as u32)), n));
+    // Walk each cycle component from its most critical member so that
+    // within the tail, topology is still locally respected.
+    let mut seen = vec![false; graph.node_count()];
+    for n in rest {
+        if seen[n.index()] {
+            continue;
+        }
+        for m in phoenix_dgraph::traversal::Dfs::new(graph, [n]) {
+            if !visited[m.index()] && !seen[m.index()] {
+                seen[m.index()] = true;
+                order.push(ServiceId(m.index() as u32));
+            }
+        }
+    }
+}
+
+/// Checks Eq. 2 (topology): every service in `order` that has predecessors
+/// is preceded by at least one of them. Returns the first violator.
+pub fn first_topology_violation(app: &AppSpec, order: &[ServiceId]) -> Option<ServiceId> {
+    let graph = app.dependency()?;
+    let mut pos = vec![usize::MAX; graph.node_count()];
+    for (i, s) in order.iter().enumerate() {
+        pos[s.index()] = i;
+    }
+    for &s in order {
+        let n = NodeId::from_index(s.index());
+        let preds = graph.predecessors(n);
+        if !preds.is_empty() {
+            let me = pos[s.index()];
+            if !preds.iter().any(|p| pos[p.index()] < me) {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AppSpecBuilder;
+    use phoenix_cluster::Resources;
+
+    /// Builds an app from (criticality levels, edges).
+    fn app_of(levels: &[u8], edges: &[(usize, usize)]) -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let ids: Vec<ServiceId> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                b.add_service(
+                    format!("s{i}"),
+                    Resources::cpu(1.0),
+                    Some(Criticality::new(l)),
+                    1,
+                )
+            })
+            .collect();
+        if edges.is_empty() {
+            b.with_graph();
+        }
+        for &(x, y) in edges {
+            b.add_dependency(ids[x], ids[y]);
+        }
+        b.build().unwrap()
+    }
+
+    fn indices(order: &[ServiceId]) -> Vec<usize> {
+        order.iter().map(|s| s.index()).collect()
+    }
+
+    #[test]
+    fn no_graph_sorts_by_criticality() {
+        let mut b = AppSpecBuilder::new("flat");
+        b.add_service("low", Resources::cpu(1.0), Some(Criticality::new(4)), 1);
+        b.add_service("hi", Resources::cpu(1.0), Some(Criticality::C1), 1);
+        b.add_service("mid", Resources::cpu(1.0), Some(Criticality::C2), 1);
+        let app = b.build().unwrap();
+        let order = app_rank(&app, Traversal::CriticalityGuidedDfs);
+        assert_eq!(indices(&order), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dfs_descends_into_equally_critical_children() {
+        // 0(C1) -> 1(C1) -> 2(C5), 0 -> 3(C2)
+        let app = app_of(&[1, 1, 5, 2], &[(0, 1), (1, 2), (0, 3)]);
+        let order = app_rank(&app, Traversal::CriticalityGuidedDfs);
+        // DFS: 0 then 1 (C1, descend); 2 deferred (C5), 3 deferred (C2).
+        // Queue pops C2 before C5.
+        assert_eq!(indices(&order), vec![0, 1, 3, 2]);
+        assert!(first_topology_violation(&app, &order).is_none());
+    }
+
+    #[test]
+    fn dfs_defers_less_critical_children() {
+        // 0(C1) -> {1(C3), 2(C1)}; 1 -> 3(C1)
+        let app = app_of(&[1, 3, 1, 1], &[(0, 1), (0, 2), (1, 3)]);
+        let order = app_rank(&app, Traversal::CriticalityGuidedDfs);
+        // 0, then 2 (equal crit, DFS), then queue: 1(C3) → descend to 3(C1).
+        assert_eq!(indices(&order), vec![0, 2, 1, 3]);
+        assert!(first_topology_violation(&app, &order).is_none());
+    }
+
+    #[test]
+    fn strict_frontier_prefers_critical_ready_nodes() {
+        // Same graph as above: frontier after 0 is {1(C3), 2(C1)} → 2 first;
+        // then 1; then 3.
+        let app = app_of(&[1, 3, 1, 1], &[(0, 1), (0, 2), (1, 3)]);
+        let order = app_rank(&app, Traversal::StrictFrontier);
+        assert_eq!(indices(&order), vec![0, 2, 1, 3]);
+        assert!(first_topology_violation(&app, &order).is_none());
+    }
+
+    #[test]
+    fn modes_differ_on_deep_critical_chains() {
+        // 0(C1) -> 1(C1) -> 2(C1); 0 -> 3(C2).
+        // DFS runs the whole C1 chain first: 0,1,2,3.
+        // Frontier agrees here (C1s are always ready before C2).
+        let app = app_of(&[1, 1, 1, 2], &[(0, 1), (1, 2), (0, 3)]);
+        assert_eq!(
+            indices(&app_rank(&app, Traversal::CriticalityGuidedDfs)),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            indices(&app_rank(&app, Traversal::StrictFrontier)),
+            vec![0, 1, 2, 3]
+        );
+        // 0(C2) source guarding two children 1(C1), 2(C3); child 1 has a
+        // C3 child of its own. DFS from 0 descends into 1 (more critical)
+        // immediately; frontier does the same. Both defer C3s.
+        let app2 = app_of(&[2, 1, 3, 3], &[(0, 1), (0, 2), (1, 3)]);
+        let d = indices(&app_rank(&app2, Traversal::CriticalityGuidedDfs));
+        let f = indices(&app_rank(&app2, Traversal::StrictFrontier));
+        assert_eq!(d[..2], [0, 1]);
+        assert_eq!(f[..2], [0, 1]);
+    }
+
+    #[test]
+    fn multiple_sources_popped_by_criticality() {
+        // Two components: source 0 (C3) -> 1 (C3); source 2 (C1) -> 3 (C2).
+        let app = app_of(&[3, 3, 1, 2], &[(0, 1), (2, 3)]);
+        let order = app_rank(&app, Traversal::CriticalityGuidedDfs);
+        assert_eq!(indices(&order), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn critical_leaf_behind_noncritical_proxy_waits() {
+        // 0(C1) -> 1(C5) -> 2(C1): the C1 leaf is only reachable through
+        // the C5 proxy, so Eq. 2 forces [0, 1, 2] in both modes.
+        let app = app_of(&[1, 5, 1], &[(0, 1), (1, 2)]);
+        for t in [Traversal::CriticalityGuidedDfs, Traversal::StrictFrontier] {
+            let order = app_rank(&app, t);
+            assert_eq!(indices(&order), vec![0, 1, 2], "{t:?}");
+            assert!(first_topology_violation(&app, &order).is_none());
+        }
+    }
+
+    #[test]
+    fn cycle_without_entry_is_appended() {
+        // DAG part: 0(C1); cycle: 1 -> 2 -> 1 (no external entry).
+        let app = app_of(&[1, 2, 2], &[(1, 2), (2, 1)]);
+        for t in [Traversal::CriticalityGuidedDfs, Traversal::StrictFrontier] {
+            let order = app_rank(&app, t);
+            assert_eq!(order.len(), 3, "{t:?}");
+            assert_eq!(order[0].index(), 0);
+        }
+    }
+
+    #[test]
+    fn untagged_services_rank_first() {
+        let mut b = AppSpecBuilder::new("u");
+        let a = b.add_service("tagged", Resources::cpu(1.0), Some(Criticality::new(3)), 1);
+        let u = b.add_service("untagged", Resources::cpu(1.0), None, 1);
+        b.add_dependency(u, a);
+        let app = b.build().unwrap();
+        let order = app_rank(&app, Traversal::CriticalityGuidedDfs);
+        assert_eq!(order[0], u);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let app = app_of(
+            &[1, 2, 3, 1, 2, 5, 4, 1],
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (0, 7)],
+        );
+        for t in [Traversal::CriticalityGuidedDfs, Traversal::StrictFrontier] {
+            let mut order = indices(&app_rank(&app, t));
+            order.sort_unstable();
+            assert_eq!(order, (0..8).collect::<Vec<_>>(), "{t:?}");
+        }
+    }
+}

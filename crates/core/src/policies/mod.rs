@@ -1,0 +1,109 @@
+//! Resilience policies: Phoenix and every baseline from the evaluation
+//! (§6, *Baselines*), behind one trait.
+//!
+//! | Policy | Criticality-aware | Operator objective | Mechanism |
+//! |--------|------------------|--------------------|-----------|
+//! | [`PhoenixPolicy`] (Fair/Cost) | ✓ | ✓ | planner + ranking + packing |
+//! | [`LpPolicy`] (LPFair/LPCost)  | ✓ | ✓ | exact ILP (Appendix C) |
+//! | [`PriorityPolicy`]            | ✓ | ✗ (no quotas) | raw criticality merge |
+//! | [`FairPolicy`]                | ✗ | fairness | quota without tags |
+//! | [`DefaultPolicy`]             | ✗ | ✗ | vanilla K8s rescheduling |
+//! | [`NoAdaptPolicy`]             | ✗ | ✗ | nothing (the × marker in Fig. 5) |
+
+mod default;
+mod fair;
+mod lp_policy;
+mod phoenix;
+mod priority;
+
+use std::fmt;
+use std::time::Duration;
+
+use phoenix_cluster::ClusterState;
+
+use crate::spec::Workload;
+
+pub use default::{DefaultPolicy, NoAdaptPolicy};
+pub use fair::FairPolicy;
+pub use lp_policy::{LpObjective, LpPlacement, LpPolicy};
+pub use phoenix::PhoenixPolicy;
+pub use priority::PriorityPolicy;
+
+/// A policy's answer to a failure event: the target cluster state.
+#[derive(Debug, Clone)]
+pub struct PolicyPlan {
+    /// Desired assignment of pods to nodes.
+    pub target: ClusterState,
+    /// Wall-clock time spent planning (the Fig. 8b metric).
+    pub planning_time: Duration,
+    /// Free-form diagnostics (e.g. the LP solver status).
+    pub notes: String,
+}
+
+/// A resilience management scheme that reacts to cluster state changes by
+/// proposing a new target state.
+pub trait ResiliencePolicy: fmt::Debug + Send + Sync {
+    /// Display name used in reports ("PhoenixCost", "Default", …).
+    fn name(&self) -> &'static str;
+
+    /// Plans a target state for `workload` on the current `state`.
+    ///
+    /// Implementations must not mutate `state`; they work on scratch copies.
+    fn plan(&self, workload: &Workload, state: &ClusterState) -> PolicyPlan;
+}
+
+/// Instantiates the full evaluation roster: PhoenixCost, PhoenixFair,
+/// Priority, Fair, Default (the five large-scale schemes of Fig. 7).
+pub fn standard_roster() -> Vec<Box<dyn ResiliencePolicy>> {
+    vec![
+        Box::new(PhoenixPolicy::cost()),
+        Box::new(PhoenixPolicy::fair()),
+        Box::new(PriorityPolicy::default()),
+        Box::new(FairPolicy::default()),
+        Box::new(DefaultPolicy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AppSpecBuilder;
+    use crate::tags::Criticality;
+    use phoenix_cluster::Resources;
+
+    pub(crate) fn small_workload() -> Workload {
+        let mut apps = Vec::new();
+        for (name, price) in [("alpha", 2.0), ("beta", 1.0)] {
+            let mut b = AppSpecBuilder::new(name);
+            let fe = b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+            let aux = b.add_service("aux", Resources::cpu(2.0), Some(Criticality::C3), 1);
+            b.add_dependency(fe, aux);
+            b.price_per_unit(price);
+            apps.push(b.build().unwrap());
+        }
+        Workload::new(apps)
+    }
+
+    #[test]
+    fn roster_has_five_schemes_with_unique_names() {
+        let roster = standard_roster();
+        let names: Vec<&str> = roster.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 5);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn all_policies_leave_live_state_untouched() {
+        let w = small_workload();
+        let state = ClusterState::homogeneous(3, Resources::cpu(4.0));
+        for p in standard_roster() {
+            let before = state.pod_count();
+            let plan = p.plan(&w, &state);
+            assert_eq!(state.pod_count(), before, "{} mutated live state", p.name());
+            plan.target.check_invariants().unwrap();
+        }
+    }
+}

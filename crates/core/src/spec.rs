@@ -1,0 +1,506 @@
+//! Application specifications: microservices, criticality tags, dependency
+//! graphs, and the multi-tenant [`Workload`] the controller plans over.
+//!
+//! A spec is the paper's "standardized format" input to the planner:
+//! container-level resource requirements + criticality tags (+ optionally a
+//! dependency graph), with **no application business logic** — the
+//! cooperative-degradation interface of §3.
+
+use std::error::Error;
+use std::fmt;
+
+use phoenix_cluster::{PodKey, Resources};
+use phoenix_dgraph::{DiGraph, NodeId};
+
+use crate::tags::Criticality;
+
+/// Index of an application within a [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub(crate) u32);
+
+impl AppId {
+    /// Creates an app id from a dense index.
+    pub fn new(index: u32) -> AppId {
+        AppId(index)
+    }
+
+    /// Dense index of the app.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Index of a microservice within its application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(pub(crate) u32);
+
+impl ServiceId {
+    /// Creates a service id from a dense index.
+    pub fn new(index: u32) -> ServiceId {
+        ServiceId(index)
+    }
+
+    /// Dense index of the service within its app.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ms{}", self.0)
+    }
+}
+
+/// One microservice of an application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Human-readable name (e.g. `"spell-check"`).
+    pub name: String,
+    /// Per-replica resource demand (from the deployment spec, §7).
+    pub demand: Resources,
+    /// Criticality tag; `None` means untagged → treated as `C1`.
+    pub criticality: Option<Criticality>,
+    /// Number of replicas (Appendix D); all-or-nothing activation.
+    pub replicas: u16,
+}
+
+impl ServiceSpec {
+    /// Effective criticality: the tag, or `C1` when untagged (§5).
+    pub fn effective_criticality(&self) -> Criticality {
+        self.criticality.unwrap_or_default()
+    }
+
+    /// Total demand across replicas.
+    pub fn total_demand(&self) -> Resources {
+        self.demand * f64::from(self.replicas)
+    }
+}
+
+/// Errors from building or validating application specs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The app has no services.
+    EmptyApp(String),
+    /// A dependency edge referenced an unknown service.
+    UnknownService {
+        /// App being built.
+        app: String,
+        /// Offending index.
+        index: usize,
+    },
+    /// A dependency edge was a self-loop.
+    SelfDependency {
+        /// App being built.
+        app: String,
+        /// The service that would depend on itself.
+        index: usize,
+    },
+    /// A replica count of zero.
+    ZeroReplicas {
+        /// App being built.
+        app: String,
+        /// The service with zero replicas.
+        service: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyApp(a) => write!(f, "app {a} has no services"),
+            SpecError::UnknownService { app, index } => {
+                write!(f, "app {app}: dependency references unknown service {index}")
+            }
+            SpecError::SelfDependency { app, index } => {
+                write!(f, "app {app}: service {index} cannot depend on itself")
+            }
+            SpecError::ZeroReplicas { app, service } => {
+                write!(f, "app {app}: service {service} has zero replicas")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// A complete application: services, optional dependency graph, and the
+/// operator-facing pricing/subscription knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    name: String,
+    services: Vec<ServiceSpec>,
+    /// Caller→callee edges over service indices; `None` when the app did
+    /// not share a dependency graph (planning falls back to tag order).
+    dependency: Option<DiGraph<()>>,
+    /// Revenue per unit resource (the Cost objective's `C_i`).
+    price_per_unit: f64,
+    /// Whether the app subscribed to diagonal scaling (`phoenix=enabled`
+    /// namespace label, §5). Unsubscribed apps are fully critical.
+    phoenix_enabled: bool,
+}
+
+impl AppSpec {
+    /// App name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The services, indexed by [`ServiceId`].
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Spec of one service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn service(&self, id: ServiceId) -> &ServiceSpec {
+        &self.services[id.index()]
+    }
+
+    /// All service ids.
+    pub fn service_ids(&self) -> impl ExactSizeIterator<Item = ServiceId> {
+        (0..self.services.len() as u32).map(ServiceId)
+    }
+
+    /// The dependency graph, when provided.
+    pub fn dependency(&self) -> Option<&DiGraph<()>> {
+        self.dependency.as_ref()
+    }
+
+    /// Revenue per unit resource.
+    pub fn price_per_unit(&self) -> f64 {
+        self.price_per_unit
+    }
+
+    /// Whether the app subscribed to diagonal scaling.
+    pub fn phoenix_enabled(&self) -> bool {
+        self.phoenix_enabled
+    }
+
+    /// Effective criticality of a service, accounting for subscription:
+    /// services of unsubscribed apps are always `C1` (never shed early).
+    pub fn criticality_of(&self, id: ServiceId) -> Criticality {
+        if self.phoenix_enabled {
+            self.services[id.index()].effective_criticality()
+        } else {
+            Criticality::C1
+        }
+    }
+
+    /// Total demand of the whole app (all services × replicas).
+    pub fn total_demand(&self) -> Resources {
+        self.services.iter().map(ServiceSpec::total_demand).sum()
+    }
+
+    /// Demand of the subset of services at criticality `c` or more critical.
+    pub fn demand_at_criticality(&self, c: Criticality) -> Resources {
+        self.service_ids()
+            .filter(|&s| self.criticality_of(s).is_at_least_as_critical_as(c))
+            .map(|s| self.services[s.index()].total_demand())
+            .sum()
+    }
+}
+
+/// Builder for [`AppSpec`] (non-consuming, per the Rust API guidelines).
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::spec::AppSpecBuilder;
+/// use phoenix_core::tags::Criticality;
+/// use phoenix_cluster::Resources;
+///
+/// let mut b = AppSpecBuilder::new("shop");
+/// let web = b.add_service("web", Resources::cpu(2.0), Some(Criticality::C1), 2);
+/// let rec = b.add_service("recommend", Resources::cpu(1.0), Some(Criticality::C5), 1);
+/// b.add_dependency(web, rec);
+/// b.price_per_unit(3.0);
+/// let app = b.build()?;
+/// assert_eq!(app.service_count(), 2);
+/// assert_eq!(app.total_demand(), Resources::cpu(5.0));
+/// # Ok::<(), phoenix_core::spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AppSpecBuilder {
+    name: String,
+    services: Vec<ServiceSpec>,
+    edges: Vec<(usize, usize)>,
+    has_graph: bool,
+    price_per_unit: f64,
+    phoenix_enabled: bool,
+}
+
+impl AppSpecBuilder {
+    /// Starts a builder for an app called `name`.
+    pub fn new(name: impl Into<String>) -> AppSpecBuilder {
+        AppSpecBuilder {
+            name: name.into(),
+            services: Vec::new(),
+            edges: Vec::new(),
+            has_graph: false,
+            price_per_unit: 1.0,
+            phoenix_enabled: true,
+        }
+    }
+
+    /// Adds a microservice; returns its id.
+    pub fn add_service(
+        &mut self,
+        name: impl Into<String>,
+        demand: Resources,
+        criticality: Option<Criticality>,
+        replicas: u16,
+    ) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(ServiceSpec {
+            name: name.into(),
+            demand,
+            criticality,
+            replicas,
+        });
+        id
+    }
+
+    /// Declares that `caller` invokes `callee` (adds a DG edge). Calling
+    /// this at least once marks the app as having a dependency graph.
+    pub fn add_dependency(&mut self, caller: ServiceId, callee: ServiceId) -> &mut AppSpecBuilder {
+        self.edges.push((caller.index(), callee.index()));
+        self.has_graph = true;
+        self
+    }
+
+    /// Marks the app as having a dependency graph even with no edges yet
+    /// (single-service apps with DGs).
+    pub fn with_graph(&mut self) -> &mut AppSpecBuilder {
+        self.has_graph = true;
+        self
+    }
+
+    /// Sets the revenue per unit resource (default 1.0).
+    pub fn price_per_unit(&mut self, price: f64) -> &mut AppSpecBuilder {
+        self.price_per_unit = price;
+        self
+    }
+
+    /// Sets the diagonal-scaling subscription (default `true`).
+    pub fn phoenix_enabled(&mut self, enabled: bool) -> &mut AppSpecBuilder {
+        self.phoenix_enabled = enabled;
+        self
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the app is empty, a replica count is zero,
+    /// or a dependency references a missing/self service.
+    pub fn build(&self) -> Result<AppSpec, SpecError> {
+        if self.services.is_empty() {
+            return Err(SpecError::EmptyApp(self.name.clone()));
+        }
+        for s in &self.services {
+            if s.replicas == 0 {
+                return Err(SpecError::ZeroReplicas {
+                    app: self.name.clone(),
+                    service: s.name.clone(),
+                });
+            }
+        }
+        let dependency = if self.has_graph {
+            let mut g = DiGraph::with_capacity(self.services.len());
+            for _ in &self.services {
+                g.add_node(());
+            }
+            for &(a, b) in &self.edges {
+                if a >= self.services.len() || b >= self.services.len() {
+                    return Err(SpecError::UnknownService {
+                        app: self.name.clone(),
+                        index: a.max(b),
+                    });
+                }
+                if a == b {
+                    return Err(SpecError::SelfDependency {
+                        app: self.name.clone(),
+                        index: a,
+                    });
+                }
+                let _ = g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+            }
+            Some(g)
+        } else {
+            None
+        };
+        Ok(AppSpec {
+            name: self.name.clone(),
+            services: self.services.clone(),
+            dependency,
+            price_per_unit: self.price_per_unit,
+            phoenix_enabled: self.phoenix_enabled,
+        })
+    }
+}
+
+/// The multi-tenant workload: all applications sharing the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    apps: Vec<AppSpec>,
+}
+
+impl Workload {
+    /// Creates a workload from app specs (ids assigned by position).
+    pub fn new(apps: Vec<AppSpec>) -> Workload {
+        Workload { apps }
+    }
+
+    /// Number of applications.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// All app ids.
+    pub fn app_ids(&self) -> impl ExactSizeIterator<Item = AppId> {
+        (0..self.apps.len() as u32).map(AppId)
+    }
+
+    /// One app.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn app(&self, id: AppId) -> &AppSpec {
+        &self.apps[id.index()]
+    }
+
+    /// Iterates `(id, app)` pairs.
+    pub fn apps(&self) -> impl ExactSizeIterator<Item = (AppId, &AppSpec)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AppId(i as u32), a))
+    }
+
+    /// Adds an app, returning its id.
+    pub fn push(&mut self, app: AppSpec) -> AppId {
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(app);
+        id
+    }
+
+    /// The pod keys of one service's replicas.
+    pub fn pod_keys(&self, app: AppId, service: ServiceId) -> Vec<PodKey> {
+        let replicas = self.app(app).service(service).replicas;
+        (0..replicas)
+            .map(|r| PodKey::new(app.0, service.0, r))
+            .collect()
+    }
+
+    /// Looks up the spec behind a pod key, when valid.
+    pub fn service_of_pod(&self, pod: PodKey) -> Option<(&AppSpec, &ServiceSpec)> {
+        let app = self.apps.get(pod.app as usize)?;
+        let svc = app.services.get(pod.service as usize)?;
+        (pod.replica < svc.replicas).then_some((app, svc))
+    }
+
+    /// Total demand across all apps.
+    pub fn total_demand(&self) -> Resources {
+        self.apps.iter().map(AppSpec::total_demand).sum()
+    }
+}
+
+impl FromIterator<AppSpec> for Workload {
+    fn from_iter<T: IntoIterator<Item = AppSpec>>(iter: T) -> Workload {
+        Workload {
+            apps: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_service_app() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let a = b.add_service("a", Resources::cpu(2.0), Some(Criticality::C1), 1);
+        let c = b.add_service("c", Resources::cpu(1.0), Some(Criticality::C5), 2);
+        b.add_dependency(a, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let app = two_service_app();
+        assert_eq!(app.service_count(), 2);
+        assert_eq!(app.total_demand(), Resources::cpu(4.0));
+        assert!(app.dependency().is_some());
+        assert_eq!(app.dependency().unwrap().edge_count(), 1);
+        assert_eq!(app.criticality_of(ServiceId(1)), Criticality::C5);
+    }
+
+    #[test]
+    fn untagged_defaults_to_c1() {
+        let mut b = AppSpecBuilder::new("u");
+        b.add_service("s", Resources::cpu(1.0), None, 1);
+        let app = b.build().unwrap();
+        assert_eq!(app.criticality_of(ServiceId(0)), Criticality::C1);
+    }
+
+    #[test]
+    fn unsubscribed_apps_fully_critical() {
+        let mut b = AppSpecBuilder::new("legacy");
+        b.add_service("s", Resources::cpu(1.0), Some(Criticality::new(9)), 1);
+        b.phoenix_enabled(false);
+        let app = b.build().unwrap();
+        assert_eq!(app.criticality_of(ServiceId(0)), Criticality::C1);
+    }
+
+    #[test]
+    fn demand_at_criticality_filters() {
+        let app = two_service_app();
+        assert_eq!(app.demand_at_criticality(Criticality::C1), Resources::cpu(2.0));
+        assert_eq!(app.demand_at_criticality(Criticality::C5), Resources::cpu(4.0));
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(
+            AppSpecBuilder::new("e").build(),
+            Err(SpecError::EmptyApp("e".into()))
+        );
+
+        let mut b = AppSpecBuilder::new("z");
+        b.add_service("s", Resources::cpu(1.0), None, 0);
+        assert!(matches!(b.build(), Err(SpecError::ZeroReplicas { .. })));
+
+        let mut b = AppSpecBuilder::new("self");
+        let s = b.add_service("s", Resources::cpu(1.0), None, 1);
+        b.add_dependency(s, s);
+        assert!(matches!(b.build(), Err(SpecError::SelfDependency { .. })));
+    }
+
+    #[test]
+    fn workload_pod_keys_and_lookup() {
+        let w = Workload::new(vec![two_service_app()]);
+        let keys = w.pod_keys(AppId(0), ServiceId(1));
+        assert_eq!(keys.len(), 2);
+        assert!(w.service_of_pod(keys[1]).is_some());
+        assert!(w.service_of_pod(PodKey::new(0, 1, 5)).is_none());
+        assert!(w.service_of_pod(PodKey::new(9, 0, 0)).is_none());
+        assert_eq!(w.total_demand(), Resources::cpu(4.0));
+    }
+}

@@ -1,0 +1,913 @@
+//! Stateful-workload awareness (§1, §5 *Stateless Workloads*, §7).
+//!
+//! Phoenix diagonal-scales **stateless** services only: a stateless
+//! container can be safely terminated and restarted, a stateful one
+//! (database, queue, coordination service) cannot. The paper handles this
+//! by assumption — "stateful workloads such as MongoDB are running on a
+//! separate stateful cluster, as is standard practice" (§6.1) — and lists
+//! first-class stateful support as future work (§7). This module implements
+//! both deployment patterns so mixed workloads are safe to hand to the
+//! controller:
+//!
+//! * **Separate stateful cluster** — [`partition`] splits a mixed
+//!   [`Workload`] into a stateless half (planned by Phoenix on the compute
+//!   cluster) and a stateful half ([`place_stateful`] pins it once on a
+//!   dedicated cluster that degradation never touches). Dependency edges
+//!   through removed stateful services are contracted so the planner's
+//!   topology guarantee (Eq. 2) still holds on the stateless half: if
+//!   `web → db → audit` and `db` moves to the stateful cluster, the
+//!   stateless graph gains `web → audit`, because the stateful tier is,
+//!   by definition of this deployment, always reachable.
+//! * **Pinned co-location** — [`plan_pinned`] plans a mixed workload on one
+//!   shared cluster while guaranteeing that stateful pods are *pinned*:
+//!   never deleted, never migrated, their capacity reserved before any
+//!   stateless service is ranked. Stateful pods lost to a node failure are
+//!   re-placed with absolute priority (before any stateless container);
+//!   those that no longer fit anywhere are reported as stranded rather
+//!   than silently dropped.
+//!
+//! [`verify_pins`] checks the no-delete/no-migrate guarantee on any action
+//! plan, so integration tests and chaos audits can assert it end to end.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use phoenix_cluster::{ClusterState, NodeId, PodKey, Resources};
+use phoenix_dgraph::NodeId as GraphNode;
+
+use crate::actions::{diff_states, Action, ActionPlan};
+use crate::controller::{plan_with, PhoenixConfig};
+use crate::ranking::GlobalRank;
+use crate::spec::{AppId, AppSpecBuilder, ServiceId, Workload};
+
+/// The set of services marked stateful, keyed by `(app, service)`.
+///
+/// Marks are external to the [`Workload`] for the same reason criticality
+/// tags are external to the application: the operator can maintain them
+/// (e.g. from a `phoenix.io/stateful` label) without touching the specs.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::spec::{AppSpecBuilder, Workload};
+/// use phoenix_core::stateful::StatefulMarks;
+/// use phoenix_cluster::Resources;
+///
+/// let mut b = AppSpecBuilder::new("shop");
+/// let web = b.add_service("web", Resources::cpu(2.0), None, 1);
+/// let db = b.add_service("mongodb", Resources::cpu(4.0), None, 1);
+/// # let _ = (web, db);
+/// let w = Workload::new(vec![b.build()?]);
+///
+/// let marks = StatefulMarks::by_name(&w, |name| name.contains("mongo"));
+/// assert_eq!(marks.len(), 1);
+/// # Ok::<(), phoenix_core::spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatefulMarks {
+    set: BTreeSet<(u32, u32)>,
+}
+
+impl StatefulMarks {
+    /// An empty mark set (everything is stateless).
+    pub fn new() -> StatefulMarks {
+        StatefulMarks::default()
+    }
+
+    /// Marks every service whose name satisfies `predicate` — the
+    /// rule-based analogue of tagging by a well-known label.
+    pub fn by_name(workload: &Workload, mut predicate: impl FnMut(&str) -> bool) -> StatefulMarks {
+        let mut marks = StatefulMarks::new();
+        for (app, spec) in workload.apps() {
+            for service in spec.service_ids() {
+                if predicate(&spec.service(service).name) {
+                    marks.mark(app, service);
+                }
+            }
+        }
+        marks
+    }
+
+    /// Marks one service as stateful.
+    pub fn mark(&mut self, app: AppId, service: ServiceId) -> &mut StatefulMarks {
+        self.set.insert((app.index() as u32, service.index() as u32));
+        self
+    }
+
+    /// Whether a service is marked stateful.
+    pub fn is_stateful(&self, app: AppId, service: ServiceId) -> bool {
+        self.set
+            .contains(&(app.index() as u32, service.index() as u32))
+    }
+
+    /// Whether a pod belongs to a stateful service.
+    pub fn contains_pod(&self, pod: PodKey) -> bool {
+        self.set.contains(&(pod.app, pod.service))
+    }
+
+    /// Number of marked services.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates the marked `(app, service)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, ServiceId)> + '_ {
+        self.set
+            .iter()
+            .map(|&(a, s)| (AppId::new(a), ServiceId::new(s)))
+    }
+}
+
+/// A mixed workload split into its stateless and stateful halves, with the
+/// id remapping needed to translate pods between the two key spaces.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The diagonal-scalable half; plan this with the Phoenix controller.
+    pub stateless: Workload,
+    /// The pinned half; place once with [`place_stateful`].
+    pub stateful: Workload,
+    /// `[orig_app][orig_service] → (app, service)` in `stateless`.
+    to_stateless: Vec<Vec<Option<(u32, u32)>>>,
+    /// `[orig_app][orig_service] → (app, service)` in `stateful`.
+    to_stateful: Vec<Vec<Option<(u32, u32)>>>,
+    /// `[part_app][part_service] → (app, service)` in the original workload.
+    from_stateless: Vec<Vec<(u32, u32)>>,
+    /// Same for the stateful half.
+    from_stateful: Vec<Vec<(u32, u32)>>,
+}
+
+impl Partition {
+    /// Maps an original service into the stateless half, when it lives there.
+    pub fn to_stateless(&self, app: AppId, service: ServiceId) -> Option<(AppId, ServiceId)> {
+        let (a, s) = self.to_stateless[app.index()][service.index()]?;
+        Some((AppId::new(a), ServiceId::new(s)))
+    }
+
+    /// Maps an original service into the stateful half, when it lives there.
+    pub fn to_stateful(&self, app: AppId, service: ServiceId) -> Option<(AppId, ServiceId)> {
+        let (a, s) = self.to_stateful[app.index()][service.index()]?;
+        Some((AppId::new(a), ServiceId::new(s)))
+    }
+
+    /// The original `(app, service)` behind a stateless-half service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of bounds for the stateless half.
+    pub fn stateless_origin(&self, app: AppId, service: ServiceId) -> (AppId, ServiceId) {
+        let (a, s) = self.from_stateless[app.index()][service.index()];
+        (AppId::new(a), ServiceId::new(s))
+    }
+
+    /// The original `(app, service)` behind a stateful-half service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of bounds for the stateful half.
+    pub fn stateful_origin(&self, app: AppId, service: ServiceId) -> (AppId, ServiceId) {
+        let (a, s) = self.from_stateful[app.index()][service.index()];
+        (AppId::new(a), ServiceId::new(s))
+    }
+
+    /// Re-keys an original-workload pod into the stateless half.
+    pub fn stateless_pod(&self, pod: PodKey) -> Option<PodKey> {
+        let (a, s) = self
+            .to_stateless
+            .get(pod.app as usize)?
+            .get(pod.service as usize)
+            .copied()
+            .flatten()?;
+        Some(PodKey::new(a, s, pod.replica))
+    }
+
+    /// Re-keys a stateless-half pod back into the original workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pod's app/service are out of bounds for the half.
+    pub fn original_pod(&self, pod: PodKey) -> PodKey {
+        let (a, s) = self.from_stateless[pod.app as usize][pod.service as usize];
+        PodKey::new(a, s, pod.replica)
+    }
+}
+
+/// Splits `workload` into stateless and stateful halves per `marks`.
+///
+/// Apps appear in a half only when they have at least one service there;
+/// names, prices, and subscription flags are preserved on both sides.
+/// Dependency edges that pass through removed services are contracted (see
+/// the module docs), so each half's graph preserves reachability.
+pub fn partition(workload: &Workload, marks: &StatefulMarks) -> Partition {
+    let mut stateless_apps = Vec::new();
+    let mut stateful_apps = Vec::new();
+    let mut to_stateless = Vec::new();
+    let mut to_stateful = Vec::new();
+    let mut from_stateless = Vec::new();
+    let mut from_stateful = Vec::new();
+
+    for (app, spec) in workload.apps() {
+        let keep_stateless: Vec<bool> = spec
+            .service_ids()
+            .map(|s| !marks.is_stateful(app, s))
+            .collect();
+        for (target_is_stateless, apps, to_map, from_map) in [
+            (true, &mut stateless_apps, &mut to_stateless, &mut from_stateless),
+            (false, &mut stateful_apps, &mut to_stateful, &mut from_stateful),
+        ] {
+            let kept: Vec<usize> = (0..spec.service_count())
+                .filter(|&i| keep_stateless[i] == target_is_stateless)
+                .collect();
+            let mut forward = vec![None; spec.service_count()];
+            if kept.is_empty() {
+                to_map.push(forward);
+                continue;
+            }
+            let mut b = AppSpecBuilder::new(spec.name());
+            b.price_per_unit(spec.price_per_unit());
+            b.phoenix_enabled(spec.phoenix_enabled());
+            let mut origin = Vec::with_capacity(kept.len());
+            for (new_idx, &old_idx) in kept.iter().enumerate() {
+                let svc = spec.service(ServiceId::new(old_idx as u32));
+                let id = b.add_service(svc.name.clone(), svc.demand, svc.criticality, svc.replicas);
+                debug_assert_eq!(id.index(), new_idx);
+                forward[old_idx] = Some((apps.len() as u32, new_idx as u32));
+                origin.push((app.index() as u32, old_idx as u32));
+            }
+            if spec.dependency().is_some() {
+                b.with_graph();
+                let keep_side: Vec<bool> = (0..spec.service_count())
+                    .map(|i| keep_stateless[i] == target_is_stateless)
+                    .collect();
+                for (u, v) in contracted_edges(spec, &keep_side) {
+                    let (_, nu) = forward[u].expect("edge endpoint is kept");
+                    let (_, nv) = forward[v].expect("edge endpoint is kept");
+                    b.add_dependency(ServiceId::new(nu), ServiceId::new(nv));
+                }
+            }
+            apps.push(b.build().expect("kept services are non-empty and valid"));
+            to_map.push(forward);
+            from_map.push(origin);
+        }
+    }
+
+    Partition {
+        stateless: Workload::new(stateless_apps),
+        stateful: Workload::new(stateful_apps),
+        to_stateless,
+        to_stateful,
+        from_stateless,
+        from_stateful,
+    }
+}
+
+/// Edges of the induced-plus-contracted graph over the kept services: an
+/// edge `u → v` exists when the original graph has a path from `u` to `v`
+/// whose interior nodes are all removed.
+fn contracted_edges(spec: &crate::spec::AppSpec, keep: &[bool]) -> Vec<(usize, usize)> {
+    let Some(graph) = spec.dependency() else {
+        return Vec::new();
+    };
+    let mut edges = BTreeSet::new();
+    for u in 0..keep.len() {
+        if !keep[u] {
+            continue;
+        }
+        let mut seen = vec![false; keep.len()];
+        let mut stack: Vec<GraphNode> = graph.successors(GraphNode::from_index(u)).to_vec();
+        while let Some(v) = stack.pop() {
+            let vi = v.index();
+            if seen[vi] {
+                continue;
+            }
+            seen[vi] = true;
+            if keep[vi] {
+                if vi != u {
+                    edges.insert((u, vi));
+                }
+            } else {
+                stack.extend_from_slice(graph.successors(v));
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// Why a stateful placement could not be completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatefulPlacementError {
+    /// Pods (in the given workload's key space) that fit on no healthy node.
+    pub unplaced: Vec<PodKey>,
+}
+
+impl fmt::Display for StatefulPlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stateful pod(s) fit on no healthy node (first: {})",
+            self.unplaced.len(),
+            self.unplaced[0]
+        )
+    }
+}
+
+impl Error for StatefulPlacementError {}
+
+/// Places every pod of `workload` on `state` with best-fit, treating all of
+/// them as unsheddable.
+///
+/// This is the one-time placement for the dedicated stateful cluster:
+/// stateful services have no criticality order (none may be turned off), so
+/// a plain best-fit suffices.
+///
+/// # Errors
+///
+/// Fails with the full list of unplaceable pods — the caller must provision
+/// more stateful capacity, never degrade.
+pub fn place_stateful(
+    workload: &Workload,
+    state: &mut ClusterState,
+) -> Result<Vec<(PodKey, NodeId)>, StatefulPlacementError> {
+    let mut placed = Vec::new();
+    let mut unplaced = Vec::new();
+    // Largest first: classic best-fit-decreasing packs tighter, and there
+    // is no rank order to respect on the stateful side.
+    let mut pods: Vec<(PodKey, Resources)> = workload
+        .apps()
+        .flat_map(|(app, spec)| {
+            spec.service_ids().flat_map(move |s| {
+                workload
+                    .pod_keys(app, s)
+                    .into_iter()
+                    .map(move |k| (k, spec.service(s).demand))
+            })
+        })
+        .collect();
+    pods.sort_by(|a, b| {
+        b.1.scalar()
+            .partial_cmp(&a.1.scalar())
+            .expect("demands are finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    for (pod, demand) in pods {
+        match best_fit_node(state, demand) {
+            Some(node) => {
+                state
+                    .assign(pod, demand, node)
+                    .expect("fit was just verified");
+                placed.push((pod, node));
+            }
+            None => unplaced.push(pod),
+        }
+    }
+    if unplaced.is_empty() {
+        Ok(placed)
+    } else {
+        Err(StatefulPlacementError { unplaced })
+    }
+}
+
+/// The healthy node with the least remaining capacity that still fits
+/// `demand`.
+fn best_fit_node(state: &ClusterState, demand: Resources) -> Option<NodeId> {
+    state
+        .healthy_nodes()
+        .into_iter()
+        .filter(|&n| demand.fits_in(&state.remaining(n)))
+        .min_by(|&a, &b| {
+            state
+                .remaining(a)
+                .scalar()
+                .partial_cmp(&state.remaining(b).scalar())
+                .expect("capacities are finite")
+        })
+}
+
+/// Result of planning a mixed workload on a shared cluster with pinned
+/// stateful pods.
+#[derive(Debug)]
+pub struct PinnedPlan {
+    /// Target state in the *original* workload's pod-key space.
+    pub target: ClusterState,
+    /// Agent task list live → target. Guaranteed to contain no delete or
+    /// migrate action on a stateful pod ([`verify_pins`] always passes).
+    pub actions: ActionPlan,
+    /// Stateful pods lost to failures that fit on no healthy node. These
+    /// need operator intervention (more capacity); they are never traded
+    /// against stateless services.
+    pub stranded: Vec<PodKey>,
+    /// The global ranking of the stateless half (in the stateless half's
+    /// key space; translate with [`Partition::stateless_origin`]).
+    pub stateless_rank: GlobalRank,
+    /// The partition used, for key translation.
+    pub partition: Partition,
+}
+
+/// Plans `workload` on the shared cluster `live`, pinning every service in
+/// `marks`:
+///
+/// 1. surviving stateful pods stay exactly where they are;
+/// 2. stateful pods lost to failures are re-placed first (best-fit), before
+///    any stateless container is considered — unplaceable ones are
+///    reported in [`PinnedPlan::stranded`];
+/// 3. the stateless half is planned by the normal Phoenix pipeline against
+///    the capacity that remains *after* the pins are subtracted, so packing
+///    can never migrate or evict a stateful pod (it cannot even see them).
+pub fn plan_pinned(
+    workload: &Workload,
+    marks: &StatefulMarks,
+    live: &ClusterState,
+    config: &PhoenixConfig,
+) -> PinnedPlan {
+    let part = partition(workload, marks);
+
+    // --- Step 1+2: pin survivors, re-place lost stateful pods. ----------
+    let mut pinned = empty_like(live);
+    for (pod, node, demand) in live.assignments() {
+        if marks.contains_pod(pod) {
+            pinned
+                .assign(pod, demand, node)
+                .expect("live assignment fits its own node");
+        }
+    }
+    // Live stateless usage per node: lost stateful pods prefer genuinely
+    // free space so they displace as few running stateless pods as possible,
+    // but when nothing else fits they may take a stateless pod's node — the
+    // displaced pod is then re-placed by rank like any other candidate.
+    let mut stateless_used: Vec<Resources> = vec![Resources::ZERO; live.node_count()];
+    for (pod, node, demand) in live.assignments() {
+        if !marks.contains_pod(pod) {
+            stateless_used[node.index()] += demand;
+        }
+    }
+    let mut stranded = Vec::new();
+    for (app, spec) in workload.apps() {
+        for service in spec.service_ids() {
+            if !marks.is_stateful(app, service) {
+                continue;
+            }
+            let demand = spec.service(service).demand;
+            for key in workload.pod_keys(app, service) {
+                if live.node_of(key).is_some() {
+                    continue; // pinned above
+                }
+                let undisturbed = pinned
+                    .healthy_nodes()
+                    .into_iter()
+                    .filter(|&n| {
+                        demand.fits_in(
+                            &pinned
+                                .remaining(n)
+                                .saturating_sub(&stateless_used[n.index()]),
+                        )
+                    })
+                    .min_by(|&a, &b| {
+                        pinned
+                            .remaining(a)
+                            .scalar()
+                            .partial_cmp(&pinned.remaining(b).scalar())
+                            .expect("capacities are finite")
+                    });
+                match undisturbed.or_else(|| best_fit_node(&pinned, demand)) {
+                    Some(node) => {
+                        pinned
+                            .assign(key, demand, node)
+                            .expect("fit was just verified");
+                    }
+                    None => stranded.push(key),
+                }
+            }
+        }
+    }
+
+    // --- Step 3: plan the stateless half on the reserved-out remainder. --
+    let reduced: Vec<Resources> = live
+        .node_ids()
+        .iter()
+        .map(|&n| live.capacity(n).saturating_sub(&pinned.used(n)))
+        .collect();
+    let mut scratch = ClusterState::new(reduced);
+    for &n in &live.node_ids() {
+        if !live.is_healthy(n) {
+            scratch.fail_node(n);
+        }
+    }
+    for (pod, node, demand) in live.assignments() {
+        if marks.contains_pod(pod) {
+            continue;
+        }
+        // Pods the workload no longer describes stay out of the scratch, so
+        // the plan deletes them — same semantics as the plain pipeline. A
+        // survivor may also fail to fit when a lost stateful pod was pinned
+        // onto its node; it is then displaced and re-placed by rank.
+        if let Some(key) = part.stateless_pod(pod) {
+            let _ = scratch.assign(key, demand, node);
+        }
+    }
+    let plan = plan_with(&part.stateless, &scratch, config);
+
+    // --- Merge: pins + planned stateless, back in original keys. --------
+    let mut target = pinned;
+    for (pod, node, demand) in plan.target.assignments() {
+        target
+            .assign(part.original_pod(pod), demand, node)
+            .expect("reduced-capacity packing leaves room for the pins");
+    }
+    let actions = diff_states(live, &target);
+    PinnedPlan {
+        target,
+        actions,
+        stranded,
+        stateless_rank: plan.rank,
+        partition: part,
+    }
+}
+
+/// An empty cluster with the same node capacities and failure flags.
+fn empty_like(state: &ClusterState) -> ClusterState {
+    let mut s = ClusterState::new(state.node_ids().iter().map(|&n| state.capacity(n)));
+    for n in state.node_ids() {
+        if !state.is_healthy(n) {
+            s.fail_node(n);
+        }
+    }
+    s
+}
+
+/// A stateful pod an action plan would delete or migrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinViolation {
+    /// The offending action.
+    pub action: Action,
+}
+
+impl fmt::Display for PinViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "action {:?} touches a pinned stateful pod", self.action)
+    }
+}
+
+impl Error for PinViolation {}
+
+/// Verifies that `plan` never deletes or migrates a pod marked stateful.
+/// Starts are allowed (re-placing a lost stateful pod is a restart).
+///
+/// # Errors
+///
+/// Returns the first violating action.
+pub fn verify_pins(plan: &ActionPlan, marks: &StatefulMarks) -> Result<(), PinViolation> {
+    for &action in &plan.actions {
+        let forbidden = matches!(action, Action::Delete { .. } | Action::Migrate { .. });
+        if forbidden && marks.contains_pod(action.pod()) {
+            return Err(PinViolation { action });
+        }
+    }
+    Ok(())
+}
+
+/// [`plan_pinned`] behind the [`ResiliencePolicy`] trait, so pinned
+/// planning drops into every harness built on the policy roster
+/// (AdaptLab sweeps, the kubesim control plane, the CLI).
+///
+/// [`ResiliencePolicy`]: crate::policies::ResiliencePolicy
+#[derive(Debug)]
+pub struct StatefulAwarePolicy {
+    marks: StatefulMarks,
+    config: PhoenixConfig,
+}
+
+impl StatefulAwarePolicy {
+    /// Pins `marks` and plans the rest with `config`.
+    pub fn new(marks: StatefulMarks, config: PhoenixConfig) -> StatefulAwarePolicy {
+        StatefulAwarePolicy { marks, config }
+    }
+
+    /// The pinned services.
+    pub fn marks(&self) -> &StatefulMarks {
+        &self.marks
+    }
+}
+
+impl crate::policies::ResiliencePolicy for StatefulAwarePolicy {
+    fn name(&self) -> &'static str {
+        "PhoenixPinned"
+    }
+
+    fn plan(
+        &self,
+        workload: &Workload,
+        state: &ClusterState,
+    ) -> crate::policies::PolicyPlan {
+        let t0 = std::time::Instant::now();
+        let plan = plan_pinned(workload, &self.marks, state, &self.config);
+        let planning_time = t0.elapsed();
+        debug_assert!(verify_pins(&plan.actions, &self.marks).is_ok());
+        crate::policies::PolicyPlan {
+            target: plan.target,
+            planning_time,
+            notes: if plan.stranded.is_empty() {
+                String::new()
+            } else {
+                format!("{} stateful pod(s) stranded", plan.stranded.len())
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objectives::ObjectiveKind;
+    use crate::spec::AppSpecBuilder;
+    use crate::tags::Criticality;
+
+    /// web(C1) → db(stateful) → audit(C3), plus a chat(C5) leaf off web.
+    fn mixed_app() -> (Workload, StatefulMarks) {
+        let mut b = AppSpecBuilder::new("shop");
+        let web = b.add_service("web", Resources::cpu(2.0), Some(Criticality::C1), 1);
+        let db = b.add_service("mongodb", Resources::cpu(3.0), Some(Criticality::C1), 1);
+        let audit = b.add_service("audit", Resources::cpu(1.0), Some(Criticality::C3), 1);
+        let chat = b.add_service("chat", Resources::cpu(1.0), Some(Criticality::C5), 1);
+        b.add_dependency(web, db);
+        b.add_dependency(db, audit);
+        b.add_dependency(web, chat);
+        let w = Workload::new(vec![b.build().unwrap()]);
+        let marks = StatefulMarks::by_name(&w, |n| n.contains("mongo"));
+        (w, marks)
+    }
+
+    #[test]
+    fn by_name_marks_and_queries() {
+        let (w, marks) = mixed_app();
+        assert_eq!(marks.len(), 1);
+        assert!(!marks.is_empty());
+        assert!(marks.is_stateful(AppId::new(0), ServiceId::new(1)));
+        assert!(!marks.is_stateful(AppId::new(0), ServiceId::new(0)));
+        assert!(marks.contains_pod(PodKey::new(0, 1, 0)));
+        assert_eq!(marks.iter().count(), 1);
+        let _ = w;
+    }
+
+    #[test]
+    fn partition_splits_services_and_preserves_metadata() {
+        let (w, marks) = mixed_app();
+        let part = partition(&w, &marks);
+        assert_eq!(part.stateless.app_count(), 1);
+        assert_eq!(part.stateful.app_count(), 1);
+        assert_eq!(part.stateless.app(AppId::new(0)).service_count(), 3);
+        assert_eq!(part.stateful.app(AppId::new(0)).service_count(), 1);
+        assert_eq!(part.stateless.app(AppId::new(0)).name(), "shop");
+        assert_eq!(part.stateful.app(AppId::new(0)).name(), "shop");
+        assert_eq!(
+            part.stateful.app(AppId::new(0)).service(ServiceId::new(0)).name,
+            "mongodb"
+        );
+    }
+
+    #[test]
+    fn partition_contracts_edges_through_removed_services() {
+        let (w, marks) = mixed_app();
+        let part = partition(&w, &marks);
+        let app = part.stateless.app(AppId::new(0));
+        let g = app.dependency().expect("graph preserved");
+        // web → audit appears (contracted through db); web → chat survives.
+        // Stateless ids: web=0, audit=1, chat=2.
+        assert_eq!(g.edge_count(), 2);
+        let succ: Vec<usize> = g
+            .successors(GraphNode::from_index(0))
+            .iter()
+            .map(|n| n.index())
+            .collect();
+        assert!(succ.contains(&1), "web → audit contracted edge missing");
+        assert!(succ.contains(&2), "web → chat direct edge missing");
+    }
+
+    #[test]
+    fn partition_round_trips_pod_keys() {
+        let (w, marks) = mixed_app();
+        let part = partition(&w, &marks);
+        // audit is original service 2 → stateless service 1.
+        let orig = PodKey::new(0, 2, 0);
+        let mapped = part.stateless_pod(orig).unwrap();
+        assert_eq!(mapped, PodKey::new(0, 1, 0));
+        assert_eq!(part.original_pod(mapped), orig);
+        // db maps to the stateful half, not the stateless one.
+        assert_eq!(part.stateless_pod(PodKey::new(0, 1, 0)), None);
+        assert_eq!(
+            part.to_stateful(AppId::new(0), ServiceId::new(1)),
+            Some((AppId::new(0), ServiceId::new(0)))
+        );
+        assert_eq!(
+            part.stateful_origin(AppId::new(0), ServiceId::new(0)),
+            (AppId::new(0), ServiceId::new(1))
+        );
+        assert_eq!(
+            part.stateless_origin(AppId::new(0), ServiceId::new(1)),
+            (AppId::new(0), ServiceId::new(2))
+        );
+    }
+
+    #[test]
+    fn empty_marks_partition_is_identity_on_stateless_side() {
+        let (w, _) = mixed_app();
+        let part = partition(&w, &StatefulMarks::new());
+        assert_eq!(part.stateless.app_count(), 1);
+        assert_eq!(part.stateless.app(AppId::new(0)).service_count(), 4);
+        assert_eq!(part.stateful.app_count(), 0);
+        assert_eq!(
+            part.stateless.app(AppId::new(0)).dependency().unwrap().edge_count(),
+            3
+        );
+    }
+
+    #[test]
+    fn all_stateful_app_vanishes_from_stateless_half() {
+        let mut b = AppSpecBuilder::new("dbonly");
+        b.add_service("etcd", Resources::cpu(1.0), None, 3);
+        let w = Workload::new(vec![b.build().unwrap()]);
+        let marks = StatefulMarks::by_name(&w, |_| true);
+        let part = partition(&w, &marks);
+        assert_eq!(part.stateless.app_count(), 0);
+        assert_eq!(part.stateful.app_count(), 1);
+        assert_eq!(part.stateful.app(AppId::new(0)).service(ServiceId::new(0)).replicas, 3);
+    }
+
+    #[test]
+    fn place_stateful_best_fit_and_error() {
+        let (w, marks) = mixed_app();
+        let part = partition(&w, &marks);
+        let mut cluster = ClusterState::homogeneous(2, Resources::cpu(4.0));
+        let placed = place_stateful(&part.stateful, &mut cluster).unwrap();
+        assert_eq!(placed.len(), 1);
+        cluster.check_invariants().unwrap();
+
+        let mut tiny = ClusterState::homogeneous(1, Resources::cpu(1.0));
+        let err = place_stateful(&part.stateful, &mut tiny).unwrap_err();
+        assert_eq!(err.unplaced.len(), 1);
+        assert!(err.to_string().contains("stateful pod"));
+    }
+
+    /// Live cluster with everything placed: 3 nodes × 4 CPU.
+    fn live_full(w: &Workload, marks: &StatefulMarks) -> ClusterState {
+        let mut live = ClusterState::homogeneous(3, Resources::cpu(4.0));
+        let plan = plan_pinned(w, marks, &live.clone(), &PhoenixConfig::default());
+        for (pod, node, demand) in plan.target.assignments() {
+            live.assign(pod, demand, node).unwrap();
+        }
+        live
+    }
+
+    #[test]
+    fn plan_pinned_full_capacity_places_everything() {
+        let (w, marks) = mixed_app();
+        let live = ClusterState::homogeneous(3, Resources::cpu(4.0));
+        let plan = plan_pinned(&w, &marks, &live, &PhoenixConfig::default());
+        assert_eq!(plan.target.pod_count(), 4);
+        assert!(plan.stranded.is_empty());
+        verify_pins(&plan.actions, &marks).unwrap();
+        plan.target.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pinned_stateful_pod_survives_degradation() {
+        let (w, marks) = mixed_app();
+        let mut live = live_full(&w, &marks);
+        let db = PodKey::new(0, 1, 0);
+        let db_node = live.node_of(db).expect("db placed");
+        // Fail every node except the one hosting the db → heavy crunch.
+        for n in live.node_ids() {
+            if n != db_node {
+                live.fail_node(n);
+            }
+        }
+        let plan = plan_pinned(&w, &marks, &live, &PhoenixConfig::default());
+        verify_pins(&plan.actions, &marks).unwrap();
+        // The db did not move; only 1 CPU is left beside it, so at most one
+        // 1-CPU stateless service squeezed in and web (C1, 2 CPU) cannot.
+        assert_eq!(plan.target.node_of(db), Some(db_node));
+        assert!(plan.stranded.is_empty());
+        plan.target.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lost_stateful_pod_replaced_before_stateless() {
+        let (w, marks) = mixed_app();
+        let mut live = live_full(&w, &marks);
+        let db = PodKey::new(0, 1, 0);
+        let db_node = live.node_of(db).expect("db placed");
+        live.fail_node(db_node);
+        let plan = plan_pinned(&w, &marks, &live, &PhoenixConfig::default());
+        verify_pins(&plan.actions, &marks).unwrap();
+        // The db is restarted on a healthy node even though 8 CPUs must now
+        // hold 7 CPUs of demand — the 3-CPU db wins over stateless services.
+        let new_node = plan.target.node_of(db).expect("db re-placed");
+        assert!(plan.target.is_healthy(new_node));
+        assert!(plan.stranded.is_empty());
+        // Restart shows up as a Start action, which pins allow.
+        assert!(plan
+            .actions
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::Start { pod, .. } if *pod == db)));
+    }
+
+    #[test]
+    fn stranded_stateful_pod_is_reported_not_traded() {
+        let (w, marks) = mixed_app();
+        let mut live = live_full(&w, &marks);
+        let db = PodKey::new(0, 1, 0);
+        let db_node = live.node_of(db).expect("db placed");
+        // Fail the db's node; shrink the cluster so 3 CPUs fit nowhere.
+        for n in live.node_ids() {
+            if n != db_node {
+                for pod in live.pods_on(n).to_vec() {
+                    live.remove(pod).unwrap();
+                }
+            }
+        }
+        let mut tiny = ClusterState::homogeneous(2, Resources::cpu(2.0));
+        for (pod, _, demand) in live.assignments() {
+            if pod != db {
+                // keep whatever still fits; ignore the rest
+                let _ = tiny.assign(pod, demand, NodeId::new(0));
+            }
+        }
+        let plan = plan_pinned(&w, &marks, &tiny, &PhoenixConfig::default());
+        assert_eq!(plan.stranded, vec![db]);
+        verify_pins(&plan.actions, &marks).unwrap();
+        // Stateless planning proceeded anyway.
+        assert!(plan.target.pod_count() >= 1);
+    }
+
+    #[test]
+    fn pinned_capacity_is_reserved_from_fair_shares() {
+        // Two apps: "shop" with a 3-CPU db + 2-CPU web; "blog" all-stateless.
+        let (mut apps, marks) = {
+            let (w, marks) = mixed_app();
+            (vec![w.app(AppId::new(0)).clone()], marks)
+        };
+        let mut b = AppSpecBuilder::new("blog");
+        b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+        b.add_service("feed", Resources::cpu(2.0), Some(Criticality::new(4)), 1);
+        apps.push(b.build().unwrap());
+        let w = Workload::new(apps);
+        let live = ClusterState::homogeneous(2, Resources::cpu(4.0));
+        let plan = plan_pinned(
+            &w,
+            &marks,
+            &live,
+            &PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+        );
+        // 8 CPUs total, 3 reserved by the db → 5 for stateless planning;
+        // both C1 frontends (2+2) activate, nothing lower fits entirely.
+        verify_pins(&plan.actions, &marks).unwrap();
+        let up: Vec<PodKey> = plan.target.assignments().map(|(p, _, _)| p).collect();
+        assert!(up.contains(&PodKey::new(0, 1, 0)), "db pinned");
+        assert!(up.contains(&PodKey::new(0, 0, 0)), "shop web up");
+        assert!(up.contains(&PodKey::new(1, 0, 0)), "blog fe up");
+        assert!(!up.contains(&PodKey::new(1, 1, 0)), "blog feed shed");
+    }
+
+    #[test]
+    fn stateful_aware_policy_plugs_into_the_roster() {
+        use crate::policies::ResiliencePolicy;
+
+        let (w, marks) = mixed_app();
+        let policy = StatefulAwarePolicy::new(marks.clone(), PhoenixConfig::default());
+        assert_eq!(policy.name(), "PhoenixPinned");
+        assert_eq!(policy.marks().len(), 1);
+        let state = ClusterState::homogeneous(3, Resources::cpu(4.0));
+        let plan = policy.plan(&w, &state);
+        assert_eq!(plan.target.pod_count(), 4);
+        assert!(plan.notes.is_empty());
+        plan.target.check_invariants().unwrap();
+
+        // A cluster too small for the db reports strandedness in the notes.
+        let tiny = ClusterState::homogeneous(1, Resources::cpu(2.0));
+        let starved = policy.plan(&w, &tiny);
+        assert!(starved.notes.contains("stranded"), "{}", starved.notes);
+    }
+
+    #[test]
+    fn verify_pins_flags_deletes_and_migrates_only() {
+        let mut marks = StatefulMarks::new();
+        marks.mark(AppId::new(0), ServiceId::new(0));
+        let pod = PodKey::new(0, 0, 0);
+        let node = NodeId::new(0);
+        let start_only = ActionPlan {
+            actions: vec![Action::Start { pod, node }],
+        };
+        verify_pins(&start_only, &marks).unwrap();
+        let deleting = ActionPlan {
+            actions: vec![Action::Delete { pod, node }],
+        };
+        let err = verify_pins(&deleting, &marks).unwrap_err();
+        assert_eq!(err.action.pod(), pod);
+        assert!(err.to_string().contains("pinned"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Criticality tags — the paper's application/operator interface (§3).
+//!
+//! A tag `C1, C2, …` on a container tells the cloud how important that
+//! microservice is to the application's business: **lower number = more
+//! critical**. By tagging a container `C5`, the application agrees that it
+//! may be turned off in a capacity crunch. Untagged containers are treated
+//! as most-critical (`C1`), so partial adoption is safe (§5, *Partial
+//! Tagging*).
+
+use std::fmt;
+
+/// A container criticality level. Lower levels are more critical.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::tags::Criticality;
+///
+/// let chat = Criticality::new(5);
+/// assert!(Criticality::C1.is_at_least_as_critical_as(chat));
+/// assert_eq!(chat.to_string(), "C5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Criticality(u8);
+
+impl Criticality {
+    /// The highest criticality: key business-driving containers.
+    pub const C1: Criticality = Criticality(1);
+    /// Second tier.
+    pub const C2: Criticality = Criticality(2);
+    /// Third tier.
+    pub const C3: Criticality = Criticality(3);
+    /// "Good to have" tier used throughout the paper's examples.
+    pub const C5: Criticality = Criticality(5);
+    /// The lowest tier this implementation distinguishes.
+    pub const LOWEST: Criticality = Criticality(u8::MAX);
+
+    /// Creates a criticality level `C<level>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` (levels are 1-based, `C1` being highest).
+    pub fn new(level: u8) -> Criticality {
+        assert!(level >= 1, "criticality levels start at C1");
+        Criticality(level)
+    }
+
+    /// The numeric level (1 = most critical).
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// `true` when `self` is at least as critical as `other`
+    /// (i.e. its level number is less than or equal).
+    pub fn is_at_least_as_critical_as(self, other: Criticality) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl Default for Criticality {
+    /// Untagged containers default to the *highest* criticality (§5).
+    fn default() -> Criticality {
+        Criticality::C1
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<Criticality> for u8 {
+    fn from(c: Criticality) -> u8 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_levels() {
+        assert!(Criticality::C1 < Criticality::C2);
+        assert!(Criticality::C2 < Criticality::C5);
+        assert!(Criticality::C1.is_at_least_as_critical_as(Criticality::C1));
+        assert!(Criticality::C1.is_at_least_as_critical_as(Criticality::C5));
+        assert!(!Criticality::C5.is_at_least_as_critical_as(Criticality::C1));
+    }
+
+    #[test]
+    fn default_is_most_critical() {
+        assert_eq!(Criticality::default(), Criticality::C1);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at C1")]
+    fn zero_level_rejected() {
+        Criticality::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Criticality::new(7).to_string(), "C7");
+        assert_eq!(u8::from(Criticality::C3), 3);
+    }
+}

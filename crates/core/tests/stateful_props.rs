@@ -1,0 +1,196 @@
+//! Property tests for the stateful-workload layer: partition round-trips,
+//! contraction soundness, and the pinned-planning guarantee that stateful
+//! pods are never deleted or migrated.
+
+use phoenix_cluster::{ClusterState, Resources};
+use phoenix_core::controller::PhoenixConfig;
+use phoenix_core::spec::{AppId, AppSpecBuilder, ServiceId, Workload};
+use phoenix_core::stateful::{partition, plan_pinned, verify_pins, StatefulMarks};
+use phoenix_core::tags::Criticality;
+use phoenix_dgraph::NodeId as GraphNode;
+use proptest::prelude::*;
+
+/// A random mixed workload plus marks: 1–3 apps, 2–12 services each,
+/// forward-edge DAGs, and a random subset of services marked stateful.
+#[allow(clippy::type_complexity)]
+fn arb_mixed() -> impl Strategy<Value = (Workload, StatefulMarks)> {
+    proptest::collection::vec(
+        (2usize..12).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1u8..7, n),
+                proptest::collection::vec((0..n, 0..n), 0..n * 2),
+                proptest::collection::vec(any::<bool>(), n),
+                proptest::collection::vec(1.0f64..4.0, n),
+            )
+        }),
+        1..4,
+    )
+    .prop_map(|apps| {
+        let mut specs = Vec::new();
+        let mut marks = StatefulMarks::new();
+        for (ai, (levels, edges, stateful, demands)) in apps.into_iter().enumerate() {
+            let mut b = AppSpecBuilder::new(format!("app{ai}"));
+            let ids: Vec<ServiceId> = levels
+                .iter()
+                .zip(&demands)
+                .enumerate()
+                .map(|(i, (&l, &d))| {
+                    b.add_service(
+                        format!("s{i}"),
+                        Resources::cpu(d),
+                        Some(Criticality::new(l)),
+                        1,
+                    )
+                })
+                .collect();
+            b.with_graph();
+            for (x, y) in edges {
+                if x != y {
+                    b.add_dependency(ids[x.min(y)], ids[x.max(y)]);
+                }
+            }
+            specs.push(b.build().unwrap());
+            for (si, &is_stateful) in stateful.iter().enumerate() {
+                if is_stateful {
+                    marks.mark(AppId::new(ai as u32), ServiceId::new(si as u32));
+                }
+            }
+        }
+        (Workload::new(specs), marks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partition conserves services, metadata, and pod-key round trips.
+    #[test]
+    fn partition_round_trips((workload, marks) in arb_mixed()) {
+        let part = partition(&workload, &marks);
+        for (app, spec) in workload.apps() {
+            let mut seen = 0;
+            for service in spec.service_ids() {
+                let stateless = part.to_stateless(app, service);
+                let stateful = part.to_stateful(app, service);
+                // Every service lives in exactly one half.
+                prop_assert_eq!(stateless.is_some(), !marks.is_stateful(app, service));
+                prop_assert_eq!(stateful.is_some(), marks.is_stateful(app, service));
+                seen += 1;
+                if let Some((pa, ps)) = stateless {
+                    prop_assert_eq!(part.stateless_origin(pa, ps), (app, service));
+                    let kept = part.stateless.app(pa).service(ps);
+                    prop_assert_eq!(&kept.name, &spec.service(service).name);
+                    prop_assert_eq!(kept.demand, spec.service(service).demand);
+                }
+                if let Some((pa, ps)) = stateful {
+                    prop_assert_eq!(part.stateful_origin(pa, ps), (app, service));
+                }
+            }
+            prop_assert_eq!(seen, spec.service_count());
+        }
+        // Total service counts are conserved.
+        let total: usize = workload.apps().map(|(_, a)| a.service_count()).sum();
+        let split: usize = part
+            .stateless
+            .apps()
+            .map(|(_, a)| a.service_count())
+            .chain(part.stateful.apps().map(|(_, a)| a.service_count()))
+            .sum();
+        prop_assert_eq!(total, split);
+    }
+
+    /// Every contracted edge corresponds to a real path in the original
+    /// graph whose interior is entirely on the other side.
+    #[test]
+    fn contraction_is_sound((workload, marks) in arb_mixed()) {
+        let part = partition(&workload, &marks);
+        for (pa, papp) in part.stateless.apps() {
+            let Some(pgraph) = papp.dependency() else { continue };
+            for u in pgraph.node_ids() {
+                for &v in pgraph.successors(u) {
+                    let (oa, ou) = part.stateless_origin(pa, ServiceId::new(u.index() as u32));
+                    let (_, ov) = part.stateless_origin(pa, ServiceId::new(v.index() as u32));
+                    let orig = workload.app(oa).dependency().expect("original had a graph");
+                    // BFS from ou through removed nodes only must reach ov.
+                    let mut stack = vec![GraphNode::from_index(ou.index())];
+                    let mut seen = vec![false; orig.node_count()];
+                    let mut found = false;
+                    while let Some(x) = stack.pop() {
+                        for &y in orig.successors(x) {
+                            if seen[y.index()] {
+                                continue;
+                            }
+                            seen[y.index()] = true;
+                            if y.index() == ov.index() {
+                                found = true;
+                                break;
+                            }
+                            // Continue only through removed (stateful) nodes.
+                            if marks.is_stateful(oa, ServiceId::new(y.index() as u32)) {
+                                stack.push(y);
+                            }
+                        }
+                        if found {
+                            break;
+                        }
+                    }
+                    prop_assert!(found, "contracted edge {ou}->{ov} has no original path");
+                }
+            }
+        }
+    }
+
+    /// Pinned planning: pins hold across an arbitrary failure, target state
+    /// is consistent, and every stateful pod is either placed or stranded.
+    #[test]
+    fn pinned_planning_invariants(
+        (workload, marks) in arb_mixed(),
+        nodes in 2usize..8,
+        capacity in 4.0f64..20.0,
+        fail_seed in 0u64..1000,
+    ) {
+        let config = PhoenixConfig::default();
+        let mut live = ClusterState::homogeneous(nodes, Resources::cpu(capacity));
+        // Adopt the fresh plan as the live state.
+        let fresh = plan_pinned(&workload, &marks, &live, &config);
+        verify_pins(&fresh.actions, &marks).unwrap();
+        for (pod, node, demand) in fresh.target.assignments() {
+            live.assign(pod, demand, node).unwrap();
+        }
+        // Deterministic pseudo-random failures from the seed.
+        let mut state = live.clone();
+        for n in state.node_ids() {
+            if (fail_seed >> (n.index() % 10)) & 1 == 1 {
+                state.fail_node(n);
+            }
+        }
+
+        let plan = plan_pinned(&workload, &marks, &state, &config);
+        verify_pins(&plan.actions, &marks).unwrap();
+        plan.target.check_invariants().unwrap();
+
+        // Surviving stateful pods did not move.
+        for (pod, node, _) in state.assignments() {
+            if marks.contains_pod(pod) {
+                prop_assert_eq!(plan.target.node_of(pod), Some(node), "{} moved", pod);
+            }
+        }
+        // Every stateful pod is placed or stranded, never silently dropped.
+        for (app, spec) in workload.apps() {
+            for service in spec.service_ids() {
+                if !marks.is_stateful(app, service) {
+                    continue;
+                }
+                for key in workload.pod_keys(app, service) {
+                    let placed = plan.target.node_of(key).is_some();
+                    let stranded = plan.stranded.contains(&key);
+                    prop_assert!(placed ^ stranded, "{key}: placed={placed} stranded={stranded}");
+                }
+            }
+        }
+        // Placed pods sit on healthy nodes only.
+        for (pod, node, _) in plan.target.assignments() {
+            prop_assert!(plan.target.is_healthy(node), "{pod} on failed {node}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for water-filling fair shares and deviation metrics.
+
+use phoenix_core::waterfill::{fair_share_deviation, waterfill};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn waterfill_axioms(
+        demands in proptest::collection::vec(0.0f64..100.0, 1..20),
+        capacity in 0.0f64..500.0,
+    ) {
+        let shares = waterfill(&demands, capacity);
+        prop_assert_eq!(shares.len(), demands.len());
+        let total: f64 = shares.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (s, d) in shares.iter().zip(&demands) {
+            prop_assert!(*s >= -1e-12 && *s <= d + 1e-9);
+        }
+        // Pareto efficiency: leftover capacity implies everyone satisfied.
+        if capacity - total > 1e-6 {
+            for (s, d) in shares.iter().zip(&demands) {
+                prop_assert!((s - d).abs() < 1e-6);
+            }
+        }
+        // Max-min: any unsatisfied app's share is >= every other share
+        // minus epsilon (no one below the water level while someone is
+        // above it and unsatisfied).
+        let level = shares
+            .iter()
+            .zip(&demands)
+            .filter(|(s, d)| **s < **d - 1e-6)
+            .map(|(s, _)| *s)
+            .fold(f64::INFINITY, f64::min);
+        if level.is_finite() {
+            for s in &shares {
+                prop_assert!(*s <= level + 1e-6, "share {s} above water level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn waterfill_is_demand_monotone(
+        demands in proptest::collection::vec(0.5f64..50.0, 2..10),
+        capacity in 10.0f64..100.0,
+        bump in 0.1f64..10.0,
+    ) {
+        // Raising one app's demand never decreases its own share.
+        let base = waterfill(&demands, capacity);
+        for i in 0..demands.len() {
+            let mut bigger = demands.clone();
+            bigger[i] += bump;
+            let shares = waterfill(&bigger, capacity);
+            prop_assert!(shares[i] >= base[i] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn deviation_zero_iff_exact_shares(
+        demands in proptest::collection::vec(0.5f64..50.0, 1..10),
+        capacity in 5.0f64..100.0,
+    ) {
+        let shares = waterfill(&demands, capacity);
+        let (pos, neg) = fair_share_deviation(&demands, &shares, capacity);
+        prop_assert!(pos.abs() < 1e-9 && neg.abs() < 1e-9);
+        // Any perturbation shows up in exactly one side.
+        let mut skewed = shares.clone();
+        if skewed[0] > 0.5 {
+            skewed[0] -= 0.25;
+            let (_, neg2) = fair_share_deviation(&demands, &skewed, capacity);
+            prop_assert!(neg2 > 0.0);
+        }
+    }
+}

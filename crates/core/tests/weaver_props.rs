@@ -1,0 +1,141 @@
+//! Property tests for the deploy-time container-separation layer: every
+//! packing policy partitions the components, conserves demand (plus
+//! exactly one overhead per container), tags containers by their most
+//! critical member, and only keeps cross-container call edges.
+
+use phoenix_cluster::Resources;
+use phoenix_core::spec::ServiceId;
+use phoenix_core::tags::Criticality;
+use phoenix_core::weaver::{
+    deploy, sheddable_fraction, Colocation, ComponentGraph, ComponentId,
+};
+use proptest::prelude::*;
+
+const POLICIES: [Colocation; 3] = [
+    Colocation::Monolith,
+    Colocation::PerComponent,
+    Colocation::ByCriticality,
+];
+
+fn arb_graph() -> impl Strategy<Value = ComponentGraph> {
+    (1usize..15).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((1u8..8, 0.5f64..5.0), n),
+            proptest::collection::vec((0..n, 0..n), 0..n * 2),
+        )
+            .prop_map(move |(comps, calls)| {
+                let mut g = ComponentGraph::new("p");
+                let ids: Vec<ComponentId> = comps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(level, cpu))| {
+                        g.add_component(
+                            format!("c{i}"),
+                            Criticality::new(level),
+                            Resources::cpu(cpu),
+                        )
+                    })
+                    .collect();
+                for (x, y) in calls {
+                    if x != y {
+                        g.add_call(ids[x], ids[y]);
+                    }
+                }
+                g
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Membership is a partition: every component in exactly one container,
+    /// consistent with `container_of`.
+    #[test]
+    fn membership_is_a_partition(g in arb_graph(), pick in 0usize..3) {
+        let d = deploy(&g, POLICIES[pick], Resources::cpu(0.1)).unwrap();
+        let mut count = vec![0usize; g.len()];
+        for (ci, members) in d.membership.iter().enumerate() {
+            prop_assert!(!members.is_empty(), "container {} is empty", ci);
+            for &m in members {
+                count[m.index()] += 1;
+                prop_assert_eq!(d.container_of(m), Some(ServiceId::new(ci as u32)));
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1), "{:?}", count);
+    }
+
+    /// Demand conservation: containers sum to components + one overhead
+    /// per container, under every policy.
+    #[test]
+    fn demand_is_conserved(g in arb_graph(), overhead in 0.0f64..1.0) {
+        for policy in POLICIES {
+            let d = deploy(&g, policy, Resources::cpu(overhead)).unwrap();
+            let expect =
+                g.total_demand().scalar() + overhead * d.spec.service_count() as f64;
+            let got = d.spec.total_demand().scalar();
+            prop_assert!((got - expect).abs() < 1e-9, "{}: {got} vs {expect}", policy.label());
+        }
+    }
+
+    /// A container is exactly as critical as its most critical member.
+    #[test]
+    fn container_tag_is_min_member_level(g in arb_graph(), pick in 0usize..3) {
+        let d = deploy(&g, POLICIES[pick], Resources::ZERO).unwrap();
+        for (ci, members) in d.membership.iter().enumerate() {
+            let min_level = members
+                .iter()
+                .map(|&m| g.components()[m.index()].criticality)
+                .min()
+                .unwrap();
+            prop_assert_eq!(
+                d.spec.criticality_of(ServiceId::new(ci as u32)),
+                min_level
+            );
+        }
+    }
+
+    /// Dependency edges are exactly the deduplicated cross-container calls.
+    #[test]
+    fn edges_are_cross_container_calls(g in arb_graph(), pick in 0usize..3) {
+        let d = deploy(&g, POLICIES[pick], Resources::ZERO).unwrap();
+        let mut expected = std::collections::BTreeSet::new();
+        for &(x, y) in g.calls() {
+            let (cx, cy) = (
+                d.container_of(x).unwrap(),
+                d.container_of(y).unwrap(),
+            );
+            if cx != cy {
+                expected.insert((cx.index(), cy.index()));
+            }
+        }
+        match d.spec.dependency() {
+            None => {
+                prop_assert_eq!(d.spec.service_count(), 1);
+                prop_assert!(expected.is_empty());
+            }
+            Some(graph) => {
+                let actual: std::collections::BTreeSet<(usize, usize)> = graph
+                    .edges()
+                    .map(|(u, v)| (u.index(), v.index()))
+                    .collect();
+                prop_assert_eq!(actual, expected);
+            }
+        }
+    }
+
+    /// Separation never reduces the sheddable fraction below the
+    /// monolith's, and the fraction is always a valid proportion.
+    #[test]
+    fn separation_never_reduces_sheddability(g in arb_graph(), overhead in 0.0f64..0.5) {
+        let shed =
+            |p| sheddable_fraction(&deploy(&g, p, Resources::cpu(overhead)).unwrap().spec);
+        let mono = shed(Colocation::Monolith);
+        for policy in [Colocation::PerComponent, Colocation::ByCriticality] {
+            let s = shed(policy);
+            prop_assert!(s >= mono - 1e-12, "{}: {s} < {mono}", policy.label());
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+        prop_assert!((0.0..=1.0).contains(&mono));
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending id.
+        id: usize,
+        /// Number of nodes in the graph at the time of the call.
+        len: usize,
+    },
+    /// An operation that requires an acyclic graph found a cycle.
+    CycleDetected {
+        /// A node known to participate in the cycle.
+        witness: usize,
+    },
+    /// A self-loop (`u -> u`) was rejected.
+    SelfLoop {
+        /// The node that would have looped onto itself.
+        id: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { id, len } => {
+                write!(f, "node id {id} out of bounds for graph of {len} nodes")
+            }
+            GraphError::CycleDetected { witness } => {
+                write!(f, "graph contains a cycle through node {witness}")
+            }
+            GraphError::SelfLoop { id } => write!(f, "self-loop on node {id} is not allowed"),
+        }
+    }
+}
+
+impl Error for GraphError {}

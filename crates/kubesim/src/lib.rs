@@ -1,0 +1,61 @@
+//! A discrete-event simulated Kubernetes control plane — the stand-in for
+//! the paper's CloudLab testbed.
+//!
+//! The CloudLab experiments (§6.1) measure *when* things happen: kubelets
+//! stop at `t1`, the Phoenix agent detects the failure ≈100 s later
+//! (kubelet heartbeats + monitor grace), plans almost instantly, issues
+//! deletions/migrations/restarts whose pod-level latencies dominate, and
+//! reaches the target state in under 4 minutes. None of that needs real
+//! packets — it needs a faithful event-driven model of:
+//!
+//! * kubelet heartbeats and the node-monitor grace period,
+//! * the Phoenix agent's 15-second cluster monitor loop,
+//! * pod lifecycle latencies (graceful deletion, image pull + start,
+//!   migration = start-then-reroute-then-delete),
+//! * replanning when capacity returns.
+//!
+//! [`run::simulate`] executes a [`scenario::Scenario`] against any
+//! [`phoenix_core::policies::ResiliencePolicy`] and produces a
+//! [`run::SimTrace`]: per-second serving status of every pod plus the
+//! `t1…t5` milestone markers that Fig. 6 annotates.
+//!
+//! # Examples
+//!
+//! ```
+//! use phoenix_core::policies::PhoenixPolicy;
+//! use phoenix_core::spec::{AppSpecBuilder, Workload};
+//! use phoenix_core::tags::Criticality;
+//! use phoenix_cluster::Resources;
+//! use phoenix_kubesim::scenario::Scenario;
+//! use phoenix_kubesim::run::{simulate, SimConfig};
+//! use phoenix_kubesim::time::SimTime;
+//!
+//! let mut b = AppSpecBuilder::new("web");
+//! b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+//! b.add_service("chat", Resources::cpu(2.0), Some(Criticality::C5), 1);
+//! let workload = Workload::new(vec![b.build()?]);
+//!
+//! let mut scenario = Scenario::new(4, Resources::cpu(2.0));
+//! scenario.kubelet_stop_at(SimTime::from_secs(300), [0, 1]);
+//! scenario.kubelet_start_at(SimTime::from_secs(900), [0, 1]);
+//!
+//! let trace = simulate(
+//!     &workload,
+//!     &PhoenixPolicy::fair(),
+//!     &scenario,
+//!     &SimConfig::default(),
+//!     SimTime::from_secs(1200),
+//! );
+//! assert!(trace.milestones.iter().any(|m| m.label == "recovered"));
+//! # Ok::<(), phoenix_core::spec::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod latency;
+pub mod rto;
+pub mod run;
+pub mod scenario;
+pub mod time;

@@ -1,0 +1,295 @@
+//! Per-criticality Recovery Time Objectives (§3.1).
+//!
+//! Diagonal scaling "expands the resilience metrics space": instead of one
+//! RTO for the whole application, an app can declare a stringent RTO for
+//! its critical functionality and lenient ones for auxiliary tiers. This
+//! module evaluates a [`SimTrace`] against such tiered targets: per
+//! service, when did it go down, when was it restored, and did its tier's
+//! objective hold?
+
+use phoenix_core::spec::{AppId, ServiceId, Workload};
+use phoenix_core::tags::Criticality;
+
+use crate::run::SimTrace;
+use crate::time::SimTime;
+
+/// Tiered RTO targets: the maximum acceptable outage per criticality
+/// level. Levels without an entry have **no** objective (may stay down
+/// until capacity returns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RtoPolicy {
+    targets: Vec<(Criticality, SimTime)>,
+}
+
+impl RtoPolicy {
+    /// An empty policy (no objectives).
+    pub fn new() -> RtoPolicy {
+        RtoPolicy::default()
+    }
+
+    /// Sets the RTO for every service at `level` **or more critical** that
+    /// has no tighter target yet.
+    pub fn with_target(mut self, level: Criticality, rto: SimTime) -> RtoPolicy {
+        self.targets.push((level, rto));
+        self.targets.sort_by_key(|&(c, _)| c);
+        self
+    }
+
+    /// The paper's running example: critical sub-services get a stringent
+    /// bound (4 minutes — the measured full-recovery time), non-critical
+    /// ones a lenient one (20 minutes — "until the nodes come back").
+    pub fn paper_example() -> RtoPolicy {
+        RtoPolicy::new()
+            .with_target(Criticality::C1, SimTime::from_secs(240))
+            .with_target(Criticality::C3, SimTime::from_secs(1200))
+    }
+
+    /// The objective applying to `level`: the tightest target whose level
+    /// is ≥ `level` (i.e. the first tier that covers it).
+    pub fn target_for(&self, level: Criticality) -> Option<SimTime> {
+        self.targets
+            .iter()
+            .find(|&&(tier, _)| level.is_at_least_as_critical_as(tier))
+            .map(|&(_, rto)| rto)
+    }
+}
+
+/// One service's outage episode after a failure event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutage {
+    /// Application.
+    pub app: AppId,
+    /// Service.
+    pub service: ServiceId,
+    /// Effective criticality.
+    pub criticality: Criticality,
+    /// First sample at which the service stopped serving.
+    pub down_at: SimTime,
+    /// First sample at which it served again (`None` = never within the
+    /// trace horizon).
+    pub restored_at: Option<SimTime>,
+    /// The tier's objective, if any.
+    pub target: Option<SimTime>,
+}
+
+impl ServiceOutage {
+    /// Outage duration, when restoration happened.
+    pub fn duration(&self) -> Option<SimTime> {
+        self.restored_at.map(|r| r.saturating_sub(self.down_at))
+    }
+
+    /// Did this outage violate its tier's objective?
+    ///
+    /// Unrestored services violate any finite target; services without a
+    /// target never violate.
+    pub fn violated(&self) -> bool {
+        match (self.target, self.duration()) {
+            (None, _) => false,
+            (Some(t), Some(d)) => d > t,
+            (Some(_), None) => true,
+        }
+    }
+}
+
+/// RTO evaluation of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RtoReport {
+    /// All outage episodes that started at or after the failure.
+    pub outages: Vec<ServiceOutage>,
+}
+
+impl RtoReport {
+    /// Episodes violating their objectives.
+    pub fn violations(&self) -> Vec<&ServiceOutage> {
+        self.outages.iter().filter(|o| o.violated()).collect()
+    }
+
+    /// `true` when every tiered objective held.
+    pub fn satisfied(&self) -> bool {
+        self.outages.iter().all(|o| !o.violated())
+    }
+
+    /// Worst restoration time among services at exactly `level`.
+    pub fn worst_recovery(&self, level: Criticality) -> Option<SimTime> {
+        self.outages
+            .iter()
+            .filter(|o| o.criticality == level)
+            .map(|o| o.duration().unwrap_or(SimTime::from_secs(u64::MAX / 2000)))
+            .max()
+    }
+}
+
+/// Evaluates `trace` against `policy`: for every service that was serving
+/// before `failure_at` and stopped at/after it, record the first outage
+/// episode and check its tier's objective.
+pub fn evaluate_rto(
+    trace: &SimTrace,
+    workload: &Workload,
+    policy: &RtoPolicy,
+    failure_at: SimTime,
+) -> RtoReport {
+    let mut outages = Vec::new();
+    for (ai, app) in workload.apps() {
+        for service in app.service_ids() {
+            // "Before the failure" = the last sample strictly earlier than
+            // the event (at the instant itself the service is already dark).
+            let was_up = trace.service_up(
+                workload,
+                ai.index() as u32,
+                service.index() as u32,
+                failure_at.saturating_sub(SimTime::from_millis(1)),
+            );
+            // Scan samples from the failure onward.
+            let mut down_at: Option<SimTime> = None;
+            let mut restored_at: Option<SimTime> = None;
+            for sample in trace.samples.iter().filter(|s| s.at >= failure_at) {
+                let up = trace.service_up(
+                    workload,
+                    ai.index() as u32,
+                    service.index() as u32,
+                    sample.at,
+                );
+                match (down_at, up) {
+                    (None, false) => down_at = Some(sample.at),
+                    (Some(_), true) => {
+                        restored_at = Some(sample.at);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(down) = down_at {
+                if was_up || down > failure_at {
+                    let criticality = app.criticality_of(service);
+                    outages.push(ServiceOutage {
+                        app: ai,
+                        service,
+                        criticality,
+                        down_at: down,
+                        restored_at,
+                        target: policy.target_for(criticality),
+                    });
+                }
+            }
+        }
+    }
+    RtoReport { outages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{simulate, SimConfig};
+    use crate::scenario::Scenario;
+    use phoenix_cluster::Resources;
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy};
+    use phoenix_core::spec::AppSpecBuilder;
+
+    fn workload() -> Workload {
+        let mut b = AppSpecBuilder::new("tiered");
+        b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+        b.add_service("aux", Resources::cpu(2.0), Some(Criticality::C3), 1);
+        b.add_service("extra", Resources::cpu(2.0), Some(Criticality::new(6)), 1);
+        Workload::new(vec![b.build().unwrap()])
+    }
+
+    fn scenario() -> Scenario {
+        // 4 nodes; 3 fail at 300 s, return at 1500 s: only the C1 frontend
+        // fits the surviving node until then.
+        let mut s = Scenario::new(4, Resources::cpu(2.0));
+        s.kubelet_stop_at(SimTime::from_secs(300), [0, 1, 2]);
+        s.kubelet_start_at(SimTime::from_secs(1500), [0, 1, 2]);
+        s
+    }
+
+    #[test]
+    fn policy_tiers_resolve_tightest_cover() {
+        let p = RtoPolicy::paper_example();
+        assert_eq!(p.target_for(Criticality::C1), Some(SimTime::from_secs(240)));
+        assert_eq!(p.target_for(Criticality::C2), Some(SimTime::from_secs(1200)));
+        assert_eq!(p.target_for(Criticality::C3), Some(SimTime::from_secs(1200)));
+        assert_eq!(p.target_for(Criticality::new(6)), None);
+    }
+
+    #[test]
+    fn phoenix_meets_tiered_rto_default_does_not() {
+        let w = workload();
+        let policy = RtoPolicy::new().with_target(Criticality::C1, SimTime::from_secs(240));
+        let cfg = SimConfig::default();
+        let horizon = SimTime::from_secs(2000);
+
+        let phx = simulate(&w, &PhoenixPolicy::fair(), &scenario(), &cfg, horizon);
+        let report = evaluate_rto(&phx, &w, &policy, SimTime::from_secs(300));
+        assert!(
+            report.satisfied(),
+            "violations: {:?}",
+            report.violations()
+        );
+        // The C1 outage was real but short.
+        let c1 = report
+            .outages
+            .iter()
+            .find(|o| o.criticality == Criticality::C1);
+        if let Some(o) = c1 {
+            assert!(o.duration().unwrap() <= SimTime::from_secs(240));
+        }
+
+        let dfl = simulate(&w, &DefaultPolicy, &scenario(), &cfg, horizon);
+        let report = evaluate_rto(&dfl, &w, &policy, SimTime::from_secs(300));
+        // Default cannot restore the frontend until nodes return at 1500 s
+        // (if the frontend landed on a failed node), so either it violated
+        // the RTO or it was lucky enough to be on the surviving node — in
+        // which case nothing critical went down at all.
+        let c1_down = report
+            .outages
+            .iter()
+            .any(|o| o.criticality == Criticality::C1);
+        if c1_down {
+            assert!(!report.satisfied(), "Default met a 240s RTO it should miss");
+        }
+    }
+
+    #[test]
+    fn unrestored_services_violate_finite_targets() {
+        let w = workload();
+        // No restore event: non-critical tiers stay down past the horizon.
+        let mut s = Scenario::new(4, Resources::cpu(2.0));
+        s.kubelet_stop_at(SimTime::from_secs(300), [0, 1, 2]);
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(1200),
+        );
+        let strict_everything =
+            RtoPolicy::new().with_target(Criticality::new(10), SimTime::from_secs(300));
+        let report = evaluate_rto(&trace, &w, &strict_everything, SimTime::from_secs(300));
+        assert!(!report.satisfied());
+        // With the paper's tiering, the same trace passes: C1 recovers and
+        // the C6 service has no objective.
+        let tiered = RtoPolicy::new().with_target(Criticality::C1, SimTime::from_secs(240));
+        let report = evaluate_rto(&trace, &w, &tiered, SimTime::from_secs(300));
+        assert!(report.satisfied(), "violations: {:?}", report.violations());
+    }
+
+    #[test]
+    fn no_failure_no_outages() {
+        let w = workload();
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &Scenario::new(4, Resources::cpu(2.0)),
+            &SimConfig::default(),
+            SimTime::from_secs(600),
+        );
+        let report = evaluate_rto(
+            &trace,
+            &w,
+            &RtoPolicy::paper_example(),
+            SimTime::from_secs(100),
+        );
+        assert!(report.outages.is_empty());
+        assert!(report.satisfied());
+    }
+}

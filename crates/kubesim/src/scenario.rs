@@ -1,0 +1,150 @@
+//! Failure scenarios: timed kubelet stops/starts over a cluster shape.
+//!
+//! The paper's qualitative run (Fig. 6) stops kubelets on a node subset at
+//! `t1` and restarts them 10 minutes later; AdaptLab sweeps failure
+//! fractions. A [`Scenario`] captures the cluster shape plus that timed
+//! script.
+
+use phoenix_cluster::{NodeId, Resources};
+
+use crate::time::SimTime;
+
+/// What happens to a set of nodes at a point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// Kubelet processes stop (node goes dark; pods on it stop serving).
+    KubeletStop(Vec<NodeId>),
+    /// Kubelets come back (nodes rejoin empty).
+    KubeletStart(Vec<NodeId>),
+}
+
+/// One timed scenario step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// When the step fires.
+    pub at: SimTime,
+    /// What it does.
+    pub kind: ScenarioKind,
+}
+
+/// Cluster shape + failure script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Per-node capacities.
+    pub node_capacities: Vec<Resources>,
+    /// Timed steps, in any order (the simulator sorts them).
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// A homogeneous cluster with no failures yet.
+    pub fn new(nodes: usize, capacity: Resources) -> Scenario {
+        Scenario {
+            node_capacities: vec![capacity; nodes],
+            events: Vec::new(),
+        }
+    }
+
+    /// A cluster with explicit per-node capacities.
+    pub fn with_capacities(node_capacities: Vec<Resources>) -> Scenario {
+        Scenario {
+            node_capacities,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_capacities.len()
+    }
+
+    /// Schedules kubelet stops on `nodes` at `at`.
+    pub fn kubelet_stop_at(
+        &mut self,
+        at: SimTime,
+        nodes: impl IntoIterator<Item = u32>,
+    ) -> &mut Scenario {
+        self.events.push(ScenarioEvent {
+            at,
+            kind: ScenarioKind::KubeletStop(nodes.into_iter().map(NodeId::new).collect()),
+        });
+        self
+    }
+
+    /// Schedules kubelet restarts on `nodes` at `at`.
+    pub fn kubelet_start_at(
+        &mut self,
+        at: SimTime,
+        nodes: impl IntoIterator<Item = u32>,
+    ) -> &mut Scenario {
+        self.events.push(ScenarioEvent {
+            at,
+            kind: ScenarioKind::KubeletStart(nodes.into_iter().map(NodeId::new).collect()),
+        });
+        self
+    }
+
+    /// Convenience: stop enough nodes (from the highest id down) at `at` to
+    /// bring healthy capacity to roughly `target_fraction` of total, and
+    /// restart them at `restore_at`. Returns the chosen node ids.
+    ///
+    /// Picking from the top keeps node 0 (where most critical pods land
+    /// first) alive, mirroring the paper's setup where the control-plane
+    /// node survives.
+    pub fn fail_to_capacity_fraction(
+        &mut self,
+        at: SimTime,
+        restore_at: Option<SimTime>,
+        target_fraction: f64,
+    ) -> Vec<u32> {
+        let total: f64 = self.node_capacities.iter().map(|c| c.scalar()).sum();
+        let target = total * target_fraction.clamp(0.0, 1.0);
+        let mut healthy = total;
+        let mut victims = Vec::new();
+        for (i, cap) in self.node_capacities.iter().enumerate().rev() {
+            if healthy - cap.scalar() >= target - 1e-9 {
+                healthy -= cap.scalar();
+                victims.push(i as u32);
+            }
+        }
+        self.kubelet_stop_at(at, victims.clone());
+        if let Some(r) = restore_at {
+            self.kubelet_start_at(r, victims.clone());
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_events() {
+        let mut s = Scenario::new(4, Resources::cpu(8.0));
+        s.kubelet_stop_at(SimTime::from_secs(60), [1, 2]);
+        s.kubelet_start_at(SimTime::from_secs(600), [1, 2]);
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(s.events[0].kind, ScenarioKind::KubeletStop(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn fail_to_fraction_hits_target() {
+        let mut s = Scenario::new(10, Resources::cpu(8.0));
+        let victims = s.fail_to_capacity_fraction(SimTime::from_secs(100), None, 0.42);
+        // 42% of 80 = 33.6 → keep 5 nodes (40), fail 5... keeping >= target.
+        let remaining = 10 - victims.len();
+        assert!(remaining as f64 * 8.0 >= 0.42 * 80.0 - 1e-9);
+        assert!((remaining - 1) as f64 * 8.0 < 0.42 * 80.0);
+        // Victims are the high node ids.
+        assert!(victims.iter().all(|&v| v >= 5));
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let s = Scenario::with_capacities(vec![Resources::cpu(16.0), Resources::cpu(4.0)]);
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.node_capacities[0].cpu, 16.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: the control-plane simulation never violates capacity,
+//! never serves from dead kubelets, and milestones stay ordered.
+
+use phoenix_cluster::Resources;
+use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+use phoenix_core::spec::{AppSpecBuilder, Workload};
+use phoenix_core::tags::Criticality;
+use phoenix_kubesim::run::{simulate, SimConfig};
+use phoenix_kubesim::scenario::Scenario;
+use phoenix_kubesim::time::SimTime;
+use proptest::prelude::*;
+
+fn workload(services: usize) -> Workload {
+    let mut b = AppSpecBuilder::new("w");
+    for i in 0..services {
+        b.add_service(
+            format!("s{i}"),
+            Resources::cpu(1.0 + (i % 2) as f64),
+            Some(Criticality::new(1 + (i % 5) as u8)),
+            1,
+        );
+    }
+    Workload::new(vec![b.build().unwrap()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_invariants(
+        services in 2usize..10,
+        nodes in 2u32..8,
+        fail_at in 60u64..400,
+        fail_count in 1u32..4,
+        restore in proptest::bool::ANY,
+        phoenix in proptest::bool::ANY,
+    ) {
+        let w = workload(services);
+        let mut s = Scenario::new(nodes as usize, Resources::cpu(4.0));
+        let victims: Vec<u32> = (0..fail_count.min(nodes)).collect();
+        s.kubelet_stop_at(SimTime::from_secs(fail_at), victims.clone());
+        if restore {
+            s.kubelet_start_at(SimTime::from_secs(fail_at + 600), victims);
+        }
+        let policy: Box<dyn ResiliencePolicy> = if phoenix {
+            Box::new(PhoenixPolicy::fair())
+        } else {
+            Box::new(DefaultPolicy)
+        };
+        let trace = simulate(&w, policy.as_ref(), &s, &SimConfig::default(),
+            SimTime::from_secs(fail_at + 1200));
+
+        // Milestones are time-ordered and detection follows failure.
+        for win in trace.milestones.windows(2) {
+            prop_assert!(win[0].at <= win[1].at);
+        }
+        if let (Some(f), Some(d)) = (trace.first("failure"), trace.first("detected")) {
+            prop_assert!(d >= f);
+        }
+        // Serving sets are sorted, duplicate-free, and within the workload.
+        for sample in &trace.samples {
+            for win in sample.serving.windows(2) {
+                prop_assert!(win[0] < win[1]);
+            }
+            for pod in &sample.serving {
+                prop_assert!(w.service_of_pod(*pod).is_some());
+            }
+            // Serving demand never exceeds total healthy capacity.
+            let demand: f64 = sample
+                .serving
+                .iter()
+                .map(|p| w.service_of_pod(*p).unwrap().1.demand.cpu)
+                .sum();
+            prop_assert!(demand <= nodes as f64 * 4.0 + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Detection latency is bounded by grace + one monitor tick (§5): the
+    /// failure is declared no earlier than the heartbeat grace and no
+    /// later than one monitor period after the grace expires.
+    #[test]
+    fn detection_latency_bounded(
+        monitor_secs in 5u64..60,
+        grace_secs in 10u64..120,
+        services in 2usize..8,
+    ) {
+        let w = workload(services);
+        let mut scenario = Scenario::new(6, Resources::cpu(4.0));
+        scenario.kubelet_stop_at(SimTime::from_secs(300), vec![0, 1]);
+        let cfg = SimConfig {
+            monitor_interval: SimTime::from_secs(monitor_secs),
+            heartbeat_grace: SimTime::from_secs(grace_secs),
+            ..SimConfig::default()
+        };
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &scenario,
+            &cfg,
+            SimTime::from_secs(1200),
+        );
+        let failure = trace.first("failure").expect("kubelets stop");
+        if let Some(detected) = trace.first("detected") {
+            let latency = detected.saturating_sub(failure).as_secs_f64();
+            prop_assert!(
+                latency + 1e-9 >= grace_secs as f64,
+                "detected {latency}s after failure, before the {grace_secs}s grace"
+            );
+            prop_assert!(
+                latency <= (grace_secs + monitor_secs) as f64 + 1e-9,
+                "detected {latency}s after failure, past grace {grace_secs}s + tick {monitor_secs}s"
+            );
+        }
+    }
+}

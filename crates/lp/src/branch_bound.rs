@@ -1,0 +1,279 @@
+//! Depth-first branch-and-bound over binary variables.
+//!
+//! This is the stand-in for Gurobi's MIP solver in the `LPFair`/`LPCost`
+//! baselines. Nodes solve the bounded-variable simplex relaxation; branching
+//! picks the most fractional binary, exploring the "on" branch first (the
+//! paper's models activate microservices, so 1-branches tend to reach good
+//! incumbents quickly). Limits return the best incumbent with a
+//! [`Status::FeasibleLimit`] marker rather than failing, mirroring a MIP
+//! solver's time-limited behaviour in Fig. 8b.
+
+use std::time::Instant;
+
+use crate::expr::VarId;
+use crate::model::{LimitKind, LpError, Model, Sense, SolveOptions, Solution, Status};
+use crate::simplex::{solve_relaxation, Relaxed};
+
+struct Node {
+    /// `(binary var index, fixed value)` decisions along this branch.
+    fixes: Vec<(usize, f64)>,
+}
+
+pub(crate) fn solve_milp(
+    model: &Model,
+    binaries: &[VarId],
+    opts: &SolveOptions,
+) -> Result<Solution, LpError> {
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let obj = model.objective.clone() * sign;
+    let base_lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let base_ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let deadline = opts.time_limit.map(|d| Instant::now() + d);
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut best_bound = f64::INFINITY;
+    let mut root_bound: Option<f64> = None;
+    let mut nodes: u64 = 0;
+    let mut iterations: u64 = 0;
+    let mut limit_hit: Option<LimitKind> = None;
+
+    let mut stack = vec![Node { fixes: Vec::new() }];
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            limit_hit = Some(LimitKind::Nodes);
+            break;
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                limit_hit = Some(LimitKind::Time);
+                break;
+            }
+        }
+        nodes += 1;
+
+        let mut lb = base_lb.clone();
+        let mut ub = base_ub.clone();
+        for &(j, v) in &node.fixes {
+            lb[j] = v;
+            ub[j] = v;
+        }
+        let relaxed = solve_relaxation(model, &lb, &ub, &obj, opts.max_simplex_iters, deadline)?;
+        let (relax_obj, values) = match relaxed {
+            Relaxed::Optimal {
+                objective,
+                values,
+                iterations: it,
+            } => {
+                iterations += it;
+                (objective, values)
+            }
+            Relaxed::Infeasible { iterations: it } => {
+                iterations += it;
+                continue;
+            }
+            Relaxed::Unbounded { iterations: it } => {
+                iterations += it;
+                if node.fixes.is_empty() {
+                    return Err(LpError::Unbounded);
+                }
+                // A bounded-binary subproblem cannot truly be unbounded if
+                // the root was bounded; treat as un-prunable and skip.
+                continue;
+            }
+            Relaxed::Limit {
+                feasible,
+                iterations: it,
+                kind,
+            } => {
+                iterations += it;
+                limit_hit = Some(kind);
+                // Keep a feasible-and-integral point if we lucked into one.
+                if let Some((o, v)) = feasible {
+                    if is_integral(&v, binaries, opts.int_tol)
+                        && incumbent.as_ref().is_none_or(|(bo, _)| o > *bo)
+                    {
+                        incumbent = Some((o, v));
+                    }
+                }
+                break;
+            }
+        };
+        if node.fixes.is_empty() {
+            root_bound = Some(relax_obj);
+            // Root diving heuristic: grab an early incumbent by repeatedly
+            // fixing the most fractional binary and re-solving. Without it,
+            // deep instances can exhaust the budget before any feasible
+            // point appears.
+            if opts.dive_heuristic {
+                if let Some((obj_d, vals_d, it_d)) =
+                    dive(model, &base_lb, &base_ub, &obj, binaries, &values, opts, deadline)
+                {
+                    iterations += it_d;
+                    if incumbent.as_ref().is_none_or(|(o, _)| obj_d > *o) {
+                        incumbent = Some((obj_d, vals_d));
+                    }
+                }
+            }
+        }
+        if let Some((inc_obj, _)) = &incumbent {
+            if relax_obj <= *inc_obj + 1e-9 {
+                continue; // pruned by bound
+            }
+        }
+        // Most fractional binary.
+        let mut branch: Option<(usize, f64)> = None;
+        for b in binaries {
+            let j = b.index();
+            let v = values[j];
+            let frac = (v - v.round()).abs();
+            if frac > opts.int_tol {
+                let dist_to_half = (v - v.floor() - 0.5).abs();
+                match branch {
+                    Some((_, best)) if best <= dist_to_half => {}
+                    _ => branch = Some((j, dist_to_half)),
+                }
+            }
+        }
+        match branch {
+            None => {
+                // Integral: new incumbent (it beat the pruning test above).
+                incumbent = Some((relax_obj, values));
+            }
+            Some((j, _)) => {
+                let mut zero = node.fixes.clone();
+                zero.push((j, 0.0));
+                let mut one = node.fixes;
+                one.push((j, 1.0));
+                stack.push(Node { fixes: zero });
+                stack.push(Node { fixes: one }); // explored first
+            }
+        }
+    }
+
+    if limit_hit.is_none() {
+        // Search exhausted: incumbent (if any) is optimal.
+        best_bound = incumbent.as_ref().map_or(f64::NEG_INFINITY, |(o, _)| *o);
+    } else if let Some(rb) = root_bound {
+        best_bound = rb;
+    }
+
+    match (incumbent, limit_hit) {
+        (Some((objective, values)), None) => Ok(Solution {
+            status: Status::Optimal,
+            objective: sign * objective,
+            bound: sign * best_bound,
+            nodes,
+            iterations,
+            values,
+        }),
+        (Some((objective, values)), Some(kind)) => Ok(Solution {
+            status: Status::FeasibleLimit(kind),
+            objective: sign * objective,
+            bound: sign * best_bound,
+            nodes,
+            iterations,
+            values,
+        }),
+        (None, None) => Err(LpError::Infeasible),
+        (None, Some(kind)) => Err(LpError::LimitReached(kind)),
+    }
+}
+
+/// Dive from a relaxation point: repeatedly fix the most fractional binary
+/// to its nearest integer (flipping once on infeasibility) and re-solve.
+/// Returns an integral feasible point when the dive bottoms out.
+#[allow(clippy::too_many_arguments)]
+fn dive(
+    model: &Model,
+    base_lb: &[f64],
+    base_ub: &[f64],
+    obj: &crate::expr::LinExpr,
+    binaries: &[VarId],
+    root_values: &[f64],
+    opts: &SolveOptions,
+    deadline: Option<Instant>,
+) -> Option<(f64, Vec<f64>, u64)> {
+    let mut lb = base_lb.to_vec();
+    let mut ub = base_ub.to_vec();
+    let mut values = root_values.to_vec();
+    let mut objective = f64::NAN;
+    let mut iterations = 0u64;
+    for _ in 0..binaries.len().min(4096) {
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                return None;
+            }
+        }
+        // Most fractional unfixed binary.
+        let mut pick: Option<(usize, f64)> = None;
+        for b in binaries {
+            let j = b.index();
+            let v = values[j];
+            let frac = (v - v.round()).abs();
+            if frac > opts.int_tol {
+                let dist = (v - v.floor() - 0.5).abs();
+                match pick {
+                    Some((_, best)) if best <= dist => {}
+                    _ => pick = Some((j, dist)),
+                }
+            }
+        }
+        let Some((j, _)) = pick else {
+            // Integral: verify and return.
+            return is_integral(&values, binaries, opts.int_tol)
+                .then_some((objective_or(model, obj, &values, objective), values, iterations));
+        };
+        let rounded = values[j].round().clamp(0.0, 1.0);
+        let mut solved = false;
+        for attempt in [rounded, 1.0 - rounded] {
+            lb[j] = attempt;
+            ub[j] = attempt;
+            match solve_relaxation(model, &lb, &ub, obj, opts.max_simplex_iters, deadline) {
+                Ok(Relaxed::Optimal {
+                    objective: o,
+                    values: v,
+                    iterations: it,
+                }) => {
+                    iterations += it;
+                    objective = o;
+                    values = v;
+                    solved = true;
+                    break;
+                }
+                Ok(Relaxed::Infeasible { iterations: it }) => {
+                    iterations += it;
+                    continue; // flip and retry
+                }
+                _ => return None,
+            }
+        }
+        if !solved {
+            return None;
+        }
+    }
+    None
+}
+
+/// The dive tracks the objective of the last solved LP; fall back to a
+/// direct evaluation when it never re-solved (already-integral roots).
+fn objective_or(
+    _model: &Model,
+    obj: &crate::expr::LinExpr,
+    values: &[f64],
+    tracked: f64,
+) -> f64 {
+    if tracked.is_nan() {
+        obj.eval(values)
+    } else {
+        tracked
+    }
+}
+
+fn is_integral(values: &[f64], binaries: &[VarId], tol: f64) -> bool {
+    binaries
+        .iter()
+        .all(|b| (values[b.index()] - values[b.index()].round()).abs() <= tol)
+}

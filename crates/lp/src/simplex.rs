@@ -1,0 +1,620 @@
+//! Bounded-variable two-phase primal simplex on a dense tableau.
+//!
+//! Variable bounds `lb <= x <= ub` are handled implicitly (nonbasic
+//! variables rest at either bound) instead of as explicit rows, which keeps
+//! the tableau at `#constraints` rows even for models with tens of thousands
+//! of bounded variables — exactly the shape of the paper's placement ILP
+//! relaxations. Anti-cycling falls back to Bland's rule after a degenerate
+//! streak.
+
+use std::time::Instant;
+
+use crate::expr::LinExpr;
+use crate::model::{Cmp, LimitKind, LpError, Model, Sense, SolveOptions, Solution, Status};
+
+const EPS_COST: f64 = 1e-9;
+const EPS_PIVOT: f64 = 1e-9;
+const EPS_FEAS: f64 = 1e-7;
+const DEGENERATE_STREAK_FOR_BLAND: u64 = 512;
+
+/// Outcome of one LP relaxation solve.
+#[derive(Debug, Clone)]
+pub(crate) enum Relaxed {
+    /// Proven optimal point.
+    Optimal {
+        objective: f64,
+        values: Vec<f64>,
+        iterations: u64,
+    },
+    /// A limit fired; `feasible` holds the current point if phase 1 had
+    /// already completed.
+    Limit {
+        feasible: Option<(f64, Vec<f64>)>,
+        iterations: u64,
+        kind: LimitKind,
+    },
+    Infeasible {
+        iterations: u64,
+    },
+    Unbounded {
+        iterations: u64,
+    },
+}
+
+/// Solves a pure-LP `model` (entry point used by [`Model::solve`]).
+pub(crate) fn solve_model(model: &Model, opts: &SolveOptions) -> Result<Solution, LpError> {
+    let lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let obj = model.objective.clone() * sign;
+    let deadline = opts.time_limit.map(|d| Instant::now() + d);
+    match solve_relaxation(model, &lb, &ub, &obj, opts.max_simplex_iters, deadline)? {
+        Relaxed::Optimal {
+            objective,
+            values,
+            iterations,
+        } => Ok(Solution {
+            status: Status::Optimal,
+            objective: sign * objective,
+            bound: sign * objective,
+            nodes: 1,
+            iterations,
+            values,
+        }),
+        Relaxed::Limit {
+            feasible: Some((objective, values)),
+            iterations,
+            kind,
+        } => Ok(Solution {
+            status: Status::FeasibleLimit(kind),
+            objective: sign * objective,
+            bound: f64::INFINITY * sign,
+            nodes: 1,
+            iterations,
+            values,
+        }),
+        Relaxed::Limit {
+            feasible: None,
+            kind,
+            ..
+        } => Err(LpError::LimitReached(kind)),
+        Relaxed::Infeasible { .. } => Err(LpError::Infeasible),
+        Relaxed::Unbounded { .. } => Err(LpError::Unbounded),
+    }
+}
+
+/// Solves `maximize obj` over `model`'s constraints with the given bound
+/// vectors (which may tighten the model's own, e.g. branch-and-bound fixes).
+///
+/// # Errors
+///
+/// Only [`LpError::InvalidModel`] comes back as `Err`; infeasibility and
+/// unboundedness are [`Relaxed`] outcomes.
+pub(crate) fn solve_relaxation(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    obj: &LinExpr,
+    max_iters: u64,
+    deadline: Option<Instant>,
+) -> Result<Relaxed, LpError> {
+    let n_struct = model.vars.len();
+    debug_assert_eq!(lb.len(), n_struct);
+    debug_assert_eq!(ub.len(), n_struct);
+    for j in 0..n_struct {
+        if !(lb[j].is_finite()) {
+            return Err(LpError::InvalidModel(format!(
+                "variable {j} has non-finite lower bound"
+            )));
+        }
+        if lb[j] > ub[j] + EPS_FEAS {
+            // Branch fixes can cross; that's an infeasible node, not an error.
+            return Ok(Relaxed::Infeasible { iterations: 0 });
+        }
+    }
+
+    let mut t = Tableau::build(model, lb, ub);
+
+    // Phase 1: maximize -(sum of artificials).
+    let mut iterations = 0;
+    if t.has_artificials() {
+        let c1 = t.phase1_costs();
+        match t.run(&c1, true, max_iters, deadline, &mut iterations) {
+            RunEnd::Optimal => {}
+            RunEnd::Unbounded => {
+                // Phase-1 objective is bounded above by 0; hitting this
+                // indicates numerical trouble, treat as infeasible.
+                return Ok(Relaxed::Infeasible { iterations });
+            }
+            RunEnd::Limit(kind) => {
+                return Ok(Relaxed::Limit {
+                    feasible: None,
+                    iterations,
+                    kind,
+                })
+            }
+        }
+        let infeas: f64 = t.artificial_mass();
+        if infeas > EPS_FEAS {
+            return Ok(Relaxed::Infeasible { iterations });
+        }
+        t.purge_artificials();
+    }
+
+    // Phase 2: maximize the real objective.
+    let (c2, shift) = t.phase2_costs(obj, lb);
+    let end = t.run(&c2, false, max_iters, deadline, &mut iterations);
+    let extract = |t: &Tableau| -> (f64, Vec<f64>) {
+        let values = t.structural_values(lb);
+        let objective = obj.eval(&values);
+        // `shift` is only used as a cross-check in debug builds.
+        debug_assert!(
+            {
+                let direct: f64 = (0..t.n_struct)
+                    .map(|j| c2[j] * t.col_value(j))
+                    .sum::<f64>()
+                    + shift;
+                (direct - objective).abs() <= 1e-4 * (1.0 + objective.abs())
+            },
+            "objective extraction mismatch"
+        );
+        (objective, values)
+    };
+    match end {
+        RunEnd::Optimal => {
+            let (objective, values) = extract(&t);
+            Ok(Relaxed::Optimal {
+                objective,
+                values,
+                iterations,
+            })
+        }
+        RunEnd::Unbounded => Ok(Relaxed::Unbounded { iterations }),
+        RunEnd::Limit(kind) => {
+            let (objective, values) = extract(&t);
+            Ok(Relaxed::Limit {
+                feasible: Some((objective, values)),
+                iterations,
+                kind,
+            })
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic(u32),
+    Lower,
+    Upper,
+}
+
+#[derive(Debug)]
+enum RunEnd {
+    Optimal,
+    Unbounded,
+    Limit(LimitKind),
+}
+
+struct Tableau {
+    m: usize,
+    n: usize,
+    n_struct: usize,
+    first_artificial: usize,
+    /// Row-major `m x n`: current `B^{-1} A`.
+    a: Vec<f64>,
+    /// Values of the basic variables per row.
+    xb: Vec<f64>,
+    basis: Vec<usize>,
+    stat: Vec<VStat>,
+    /// Shifted upper bounds per column (lower bounds are all zero).
+    ubs: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(model: &Model, lb: &[f64], ub: &[f64]) -> Tableau {
+        let n_struct = model.vars.len();
+        let m = model.constraints.len();
+        // First pass: normalized rows (b' >= 0) and slack/artificial needs.
+        type Row = (Vec<(usize, f64)>, Cmp, f64);
+        let mut rows: Vec<Row> = Vec::with_capacity(m);
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &model.constraints {
+            let mut terms: Vec<(usize, f64)> = c
+                .expr
+                .terms()
+                .iter()
+                .map(|&(v, k)| (v.index(), k))
+                .collect();
+            let mut rhs = c.rhs
+                - terms
+                    .iter()
+                    .map(|&(j, k)| k * lb[j])
+                    .sum::<f64>();
+            let mut cmp = c.cmp;
+            if rhs < 0.0 {
+                rhs = -rhs;
+                for (_, k) in &mut terms {
+                    *k = -*k;
+                }
+                cmp = match cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+            rows.push((terms, cmp, rhs));
+        }
+        let n = n_struct + n_slack + n_art;
+        let first_artificial = n_struct + n_slack;
+        let mut a = vec![0.0; m * n];
+        let mut xb = vec![0.0; m];
+        let mut basis = vec![0usize; m];
+        let mut stat = vec![VStat::Lower; n];
+        let mut ubs = vec![f64::INFINITY; n];
+        for j in 0..n_struct {
+            ubs[j] = ub[j] - lb[j];
+        }
+        let mut slack_col = n_struct;
+        let mut art_col = first_artificial;
+        for (i, (terms, cmp, rhs)) in rows.into_iter().enumerate() {
+            let row = &mut a[i * n..(i + 1) * n];
+            for (j, k) in terms {
+                row[j] += k;
+            }
+            xb[i] = rhs;
+            match cmp {
+                Cmp::Le => {
+                    row[slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    stat[slack_col] = VStat::Basic(i as u32);
+                    slack_col += 1;
+                }
+                Cmp::Ge => {
+                    row[slack_col] = -1.0;
+                    slack_col += 1;
+                    row[art_col] = 1.0;
+                    basis[i] = art_col;
+                    stat[art_col] = VStat::Basic(i as u32);
+                    art_col += 1;
+                }
+                Cmp::Eq => {
+                    row[art_col] = 1.0;
+                    basis[i] = art_col;
+                    stat[art_col] = VStat::Basic(i as u32);
+                    art_col += 1;
+                }
+            }
+        }
+        Tableau {
+            m,
+            n,
+            n_struct,
+            first_artificial,
+            a,
+            xb,
+            basis,
+            stat,
+            ubs,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    fn has_artificials(&self) -> bool {
+        self.first_artificial < self.n
+    }
+
+    fn phase1_costs(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.n];
+        for cost in c.iter_mut().skip(self.first_artificial) {
+            *cost = -1.0;
+        }
+        c
+    }
+
+    fn phase2_costs(&self, obj: &LinExpr, lb: &[f64]) -> (Vec<f64>, f64) {
+        let mut c = vec![0.0; self.n];
+        let mut shift = obj.constant();
+        for &(v, k) in obj.terms() {
+            c[v.index()] += k;
+            shift += k * lb[v.index()];
+        }
+        (c, shift)
+    }
+
+    /// Total value currently sitting on artificial columns.
+    fn artificial_mass(&self) -> f64 {
+        (0..self.m)
+            .filter(|&i| self.basis[i] >= self.first_artificial)
+            .map(|i| self.xb[i].max(0.0))
+            .sum()
+    }
+
+    /// Current value of any column (basic row value or resting bound).
+    fn col_value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            VStat::Basic(r) => self.xb[r as usize],
+            VStat::Lower => 0.0,
+            VStat::Upper => self.ubs[j],
+        }
+    }
+
+    fn structural_values(&self, lb: &[f64]) -> Vec<f64> {
+        (0..self.n_struct)
+            .map(|j| lb[j] + self.col_value(j))
+            .collect()
+    }
+
+    /// Pivots artificials out of the basis (degenerate pivots) and deletes
+    /// redundant rows; afterwards artificial columns are frozen at zero.
+    fn purge_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.m {
+            if self.basis[i] >= self.first_artificial {
+                // Try a degenerate pivot into any real column.
+                let mut pivot_col = None;
+                for j in 0..self.first_artificial {
+                    if matches!(self.stat[j], VStat::Basic(_)) {
+                        continue;
+                    }
+                    if self.at(i, j).abs() > EPS_PIVOT * 10.0 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    let entering_value = self.col_value(j);
+                    let leaving = self.basis[i];
+                    self.stat[leaving] = VStat::Lower;
+                    self.eliminate(i, j);
+                    self.basis[i] = j;
+                    self.stat[j] = VStat::Basic(i as u32);
+                    self.xb[i] = entering_value;
+                    i += 1;
+                } else {
+                    // Redundant row: remove it.
+                    self.remove_row(i);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Freeze artificial columns so phase 2 can never re-enter them.
+        for j in self.first_artificial..self.n {
+            if !matches!(self.stat[j], VStat::Basic(_)) {
+                self.ubs[j] = 0.0;
+                self.stat[j] = VStat::Lower;
+            }
+        }
+    }
+
+    fn remove_row(&mut self, r: usize) {
+        let leaving = self.basis[r];
+        self.stat[leaving] = VStat::Lower;
+        self.ubs[leaving] = 0.0;
+        let last = self.m - 1;
+        if r != last {
+            // Move last row into r.
+            let (head, tail) = self.a.split_at_mut(last * self.n);
+            head[r * self.n..(r + 1) * self.n].copy_from_slice(&tail[..self.n]);
+            self.xb[r] = self.xb[last];
+            self.basis[r] = self.basis[last];
+            self.stat[self.basis[r]] = VStat::Basic(r as u32);
+        }
+        self.a.truncate(last * self.n);
+        self.xb.truncate(last);
+        self.basis.truncate(last);
+        self.m = last;
+    }
+
+    /// Gauss-eliminates column `j` using row `r` as the pivot row.
+    fn eliminate(&mut self, r: usize, j: usize) {
+        let n = self.n;
+        let piv = self.a[r * n + j];
+        debug_assert!(piv.abs() > EPS_PIVOT, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for x in &mut self.a[r * n..(r + 1) * n] {
+            *x *= inv;
+        }
+        self.a[r * n + j] = 1.0;
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.a[i * n + j];
+            if f.abs() <= EPS_PIVOT {
+                self.a[i * n + j] = 0.0;
+                continue;
+            }
+            let (pr, cur) = if i < r {
+                let (lo, hi) = self.a.split_at_mut(r * n);
+                (&hi[..n], &mut lo[i * n..(i + 1) * n])
+            } else {
+                let (lo, hi) = self.a.split_at_mut(i * n);
+                (&lo[r * n..r * n + n], &mut hi[..n])
+            };
+            for (c, p) in cur.iter_mut().zip(pr.iter()) {
+                *c -= f * p;
+            }
+            self.a[i * n + j] = 0.0;
+        }
+    }
+
+    /// Runs primal simplex for the cost vector `c`.
+    fn run(
+        &mut self,
+        c: &[f64],
+        phase1: bool,
+        max_iters: u64,
+        deadline: Option<Instant>,
+        iterations: &mut u64,
+    ) -> RunEnd {
+        let mut degenerate_streak: u64 = 0;
+        let mut bland = false;
+        loop {
+            if *iterations >= max_iters {
+                return RunEnd::Limit(LimitKind::Iterations);
+            }
+            if (*iterations).is_multiple_of(128) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return RunEnd::Limit(LimitKind::Time);
+                    }
+                }
+            }
+            *iterations += 1;
+
+            // Reduced costs d_j = c_j - c_B · tab[:,j], evaluated lazily per
+            // column while scanning for an entering candidate.
+            let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+            let cb_rows: Vec<usize> = (0..self.m).filter(|&i| cb[i] != 0.0).collect();
+            let enter_limit = if phase1 { self.n } else { self.first_artificial };
+            let mut entering: Option<(usize, f64, bool)> = None; // (col, score, from_lower)
+            #[allow(clippy::needless_range_loop)] // j indexes stat/ubs/c and at(i, j) alike
+            for j in 0..enter_limit {
+                let from_lower = match self.stat[j] {
+                    VStat::Basic(_) => continue,
+                    VStat::Lower => true,
+                    VStat::Upper => false,
+                };
+                if self.ubs[j] <= 0.0 {
+                    continue; // fixed or frozen column
+                }
+                let mut d = c[j];
+                for &i in &cb_rows {
+                    d -= cb[i] * self.at(i, j);
+                }
+                let improving = if from_lower { d > EPS_COST } else { d < -EPS_COST };
+                if improving {
+                    let score = d.abs();
+                    if bland {
+                        entering = Some((j, score, from_lower));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best, _)) if best >= score => {}
+                        _ => entering = Some((j, score, from_lower)),
+                    }
+                }
+            }
+            let Some((j, _, from_lower)) = entering else {
+                return RunEnd::Optimal;
+            };
+
+            // Ratio test. e_i = dir * a[i][j]; basic values move by -e_i * t.
+            let dir = if from_lower { 1.0 } else { -1.0 };
+            let mut t_best = f64::INFINITY;
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for i in 0..self.m {
+                let e = dir * self.at(i, j);
+                if e > EPS_PIVOT {
+                    let t = (self.xb[i] / e).max(0.0);
+                    if t < t_best - 1e-12
+                        || (t < t_best + 1e-12
+                            && better_leaving(self, leave, i, j, bland))
+                    {
+                        t_best = t;
+                        leave = Some((i, false));
+                    }
+                } else if e < -EPS_PIVOT {
+                    let ub_b = self.ubs[self.basis[i]];
+                    if ub_b.is_finite() {
+                        let t = ((ub_b - self.xb[i]) / -e).max(0.0);
+                        if t < t_best - 1e-12
+                            || (t < t_best + 1e-12
+                                && better_leaving(self, leave, i, j, bland))
+                        {
+                            t_best = t;
+                            leave = Some((i, true));
+                        }
+                    }
+                }
+            }
+            let t_flip = self.ubs[j];
+            if t_flip.is_infinite() && t_best.is_infinite() {
+                return RunEnd::Unbounded;
+            }
+
+            if t_flip <= t_best {
+                // Bound flip, no basis change.
+                let t = t_flip;
+                for i in 0..self.m {
+                    let e = dir * self.at(i, j);
+                    self.xb[i] -= e * t;
+                }
+                self.stat[j] = if from_lower { VStat::Upper } else { VStat::Lower };
+                degenerate_streak = 0;
+                continue;
+            }
+
+            let (r, leaves_at_upper) = leave.expect("bounded step requires leaving row");
+            let t = t_best;
+            if t <= 1e-12 {
+                degenerate_streak += 1;
+                if degenerate_streak > DEGENERATE_STREAK_FOR_BLAND {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+                bland = false;
+            }
+            for i in 0..self.m {
+                if i == r {
+                    continue;
+                }
+                let e = dir * self.at(i, j);
+                if e != 0.0 {
+                    self.xb[i] -= e * t;
+                }
+            }
+            let entering_value = if from_lower { t } else { self.ubs[j] - t };
+            let leaving = self.basis[r];
+            self.stat[leaving] = if leaves_at_upper {
+                VStat::Upper
+            } else {
+                VStat::Lower
+            };
+            self.eliminate(r, j);
+            self.basis[r] = j;
+            self.stat[j] = VStat::Basic(r as u32);
+            self.xb[r] = entering_value;
+        }
+    }
+}
+
+/// Tie-breaking for the ratio test: prefer the row with the larger pivot
+/// magnitude (stability); under Bland's rule prefer the smaller basis index
+/// (anti-cycling).
+fn better_leaving(
+    t: &Tableau,
+    current: Option<(usize, bool)>,
+    candidate_row: usize,
+    j: usize,
+    bland: bool,
+) -> bool {
+    match current {
+        None => true,
+        Some((row, _)) => {
+            if bland {
+                t.basis[candidate_row] < t.basis[row]
+            } else {
+                t.at(candidate_row, j).abs() > t.at(row, j).abs()
+            }
+        }
+    }
+}

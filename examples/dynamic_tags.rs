@@ -1,0 +1,73 @@
+//! Dynamic criticality tagging + learned resource profiles (§7): the same
+//! cluster crunch planned at noon and at midnight, with an overnight
+//! batch job whose criticality rises after 22:00, and container demands
+//! corrected from observed usage before planning.
+//!
+//! ```sh
+//! cargo run --example dynamic_tags
+//! ```
+
+use phoenix::cluster::{ClusterState, Resources};
+use phoenix::core::controller::{PhoenixConfig, PhoenixController};
+use phoenix::core::dynamic::{retag, ScheduleTagProvider, TagContext};
+use phoenix::core::profiling::ResourceProfiler;
+use phoenix::core::spec::{AppId, AppSpecBuilder, ServiceId, SpecError, Workload};
+use phoenix::core::tags::Criticality;
+
+fn main() -> Result<(), SpecError> {
+    // A reporting stack: interactive API (C1), report "batch" engine that
+    // must finish overnight, and an optional exporter.
+    let mut b = AppSpecBuilder::new("reports");
+    let api = b.add_service("api", Resources::cpu(3.0), Some(Criticality::C1), 1);
+    let batch = b.add_service("batch", Resources::cpu(3.0), Some(Criticality::new(6)), 1);
+    let export = b.add_service("export", Resources::cpu(2.0), Some(Criticality::new(4)), 1);
+    b.add_dependency(api, batch);
+    b.add_dependency(api, export);
+    let workload = Workload::new(vec![b.build()?]);
+
+    // §7 dynamic tagging: between 22:00 and 06:00 the batch engine is C2.
+    let mut schedule = ScheduleTagProvider::new();
+    schedule.add_window(AppId::new(0), batch, 22 * 3600, 6 * 3600, Criticality::C2);
+
+    // §7 dynamic profiling: observed usage says the exporter is hungrier
+    // than its spec (2.0 → ~2.6 CPU) and the API fatter than needed.
+    let mut profiler = ResourceProfiler::new(0.3);
+    for _ in 0..10 {
+        profiler.observe(AppId::new(0), api, Resources::cpu(2.2));
+        profiler.observe(AppId::new(0), export, Resources::cpu(2.6));
+    }
+
+    // A crunch: 6 CPUs survive for 8 CPUs of nominal demand.
+    let cluster = ClusterState::homogeneous(2, Resources::cpu(3.0));
+
+    println!(
+        "{:<10} {:>22} {:>28}",
+        "time", "batch tag", "services planned"
+    );
+    for (label, seconds) in [("noon", 12 * 3600u64), ("midnight", 0)] {
+        let ctx = TagContext::at_seconds(seconds);
+        let tagged = retag(&workload, &schedule, &ctx);
+        // Fold learned usage (with a 10% safety margin) into the specs.
+        let profiled = profiler.apply(&tagged, 0.1, 5);
+        let controller = PhoenixController::new(profiled, PhoenixConfig::default());
+        let plan = controller.plan(&cluster);
+        let spec = controller.workload().app(AppId::new(0));
+        let planned: Vec<String> = plan
+            .target
+            .assignments()
+            .map(|(pod, _, _)| spec.service(ServiceId::new(pod.service)).name.clone())
+            .collect();
+        println!(
+            "{label:<10} {:>22} {:>28}",
+            spec.criticality_of(batch).to_string(),
+            planned.join(", ")
+        );
+    }
+    println!(
+        "\nAt noon the crunch sheds the batch engine (C6) and keeps the exporter;\n\
+         at midnight the schedule promotes batch to C2, so it survives instead.\n\
+         Profiled demands (api 2.2+10%, export 2.6+10%) replace the spec values\n\
+         before packing, so the plan fits what the containers actually use."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: tag an application, fail some nodes, watch Phoenix shed the
+//! non-critical containers and keep the business running.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use phoenix::cluster::{ClusterState, NodeId, Resources};
+use phoenix::core::controller::{PhoenixConfig, PhoenixController};
+use phoenix::core::objectives::ObjectiveKind;
+use phoenix::core::spec::{AppSpecBuilder, SpecError, Workload};
+use phoenix::core::tags::Criticality;
+
+fn main() -> Result<(), SpecError> {
+    // 1. Describe a web shop: the checkout path is business-critical, the
+    //    recommendation engine is "good to have" (C5).
+    let mut b = AppSpecBuilder::new("webshop");
+    let gateway = b.add_service("gateway", Resources::cpu(2.0), Some(Criticality::C1), 1);
+    let checkout = b.add_service("checkout", Resources::cpu(2.0), Some(Criticality::C1), 1);
+    let catalog = b.add_service("catalog", Resources::cpu(2.0), Some(Criticality::C2), 1);
+    let recs = b.add_service("recommend", Resources::cpu(2.0), Some(Criticality::new(5)), 1);
+    b.add_dependency(gateway, checkout);
+    b.add_dependency(gateway, catalog);
+    b.add_dependency(gateway, recs);
+    b.price_per_unit(2.5);
+    let workload = Workload::new(vec![b.build()?]);
+
+    // 2. A four-node cluster, fully healthy: everything runs.
+    let mut cluster = ClusterState::homogeneous(4, Resources::cpu(2.0));
+    let controller = PhoenixController::new(
+        workload,
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+    );
+    let healthy_plan = controller.plan(&cluster);
+    println!(
+        "healthy cluster: {} of 4 services placed",
+        healthy_plan.target.pod_count()
+    );
+
+    // Adopt the healthy placement as the live state.
+    for (pod, node, demand) in healthy_plan.target.assignments() {
+        cluster.assign(pod, demand, node).expect("healthy plan fits");
+    }
+
+    // 3. Disaster: two nodes go dark. Phoenix replans within the surviving
+    //    capacity — criticality decides who stays.
+    for node in [2u32, 3] {
+        let evicted = cluster.fail_node(NodeId::new(node));
+        println!("node{node} failed, evicting {} pods", evicted.len());
+    }
+    let plan = controller.plan(&cluster);
+    println!(
+        "\nreplan in {:?}: {} services stay up",
+        plan.total_time(),
+        plan.target.pod_count()
+    );
+    for (pod, node, _) in plan.target.assignments() {
+        let app = controller.workload().app(phoenix::core::spec::AppId::new(pod.app));
+        let svc = app.service(phoenix::core::spec::ServiceId::new(pod.service));
+        println!("  {} ({}) -> {node}", svc.name, app.criticality_of(
+            phoenix::core::spec::ServiceId::new(pod.service)
+        ));
+    }
+    println!("\nagent actions: {:?}", plan.actions.counts());
+    for a in &plan.actions.actions {
+        println!("  {a:?}");
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Code-interface criticality → container separation (§3.2's Service
+//! Weaver direction): the same application deployed as a monolith, one
+//! container per component, and one container per criticality tier, then
+//! pushed through the same capacity crunch to show what each packing lets
+//! Phoenix save.
+//!
+//! ```sh
+//! cargo run --example weaver_deploy
+//! ```
+
+use phoenix::cluster::{ClusterState, Resources};
+use phoenix::core::controller::{PhoenixConfig, PhoenixController};
+use phoenix::core::spec::{SpecError, Workload};
+use phoenix::core::tags::Criticality;
+use phoenix::core::weaver::{deploy, sheddable_fraction, Colocation, ComponentGraph};
+
+fn main() -> Result<(), SpecError> {
+    // The developer's view: annotated code components, not containers.
+    let mut g = ComponentGraph::new("store");
+    let checkout = g.add_component("Checkout", Criticality::C1, Resources::cpu(2.0));
+    let cart = g.add_component("Cart", Criticality::C1, Resources::cpu(1.0));
+    let search = g.add_component("Search", Criticality::C2, Resources::cpu(2.0));
+    let recs = g.add_component("Recommend", Criticality::new(5), Resources::cpu(2.0));
+    let emails = g.add_component("EmailDigest", Criticality::new(5), Resources::cpu(1.0));
+    g.add_call(checkout, cart);
+    g.add_call(checkout, search);
+    g.add_call(search, recs);
+    g.add_call(checkout, emails);
+
+    let overhead = Resources::cpu(0.25);
+    println!(
+        "{:<16} {:>10} {:>12} {:>18}",
+        "packing", "containers", "sheddable", "survives 4-CPU crunch"
+    );
+    for policy in [
+        Colocation::Monolith,
+        Colocation::PerComponent,
+        Colocation::ByCriticality,
+    ] {
+        let deployment = deploy(&g, policy, overhead)?;
+        // A deep crunch: 4 CPUs for an app that wants ~8.
+        let controller = PhoenixController::new(
+            Workload::new(vec![deployment.spec.clone()]),
+            PhoenixConfig::default(),
+        );
+        let state = ClusterState::homogeneous(1, Resources::cpu(4.0));
+        let plan = controller.plan(&state);
+        let survivors: Vec<String> = plan
+            .target
+            .assignments()
+            .map(|(pod, _, _)| {
+                deployment.spec.services()[pod.service as usize].name.clone()
+            })
+            .collect();
+        println!(
+            "{:<16} {:>10} {:>11.0}% {:>20}",
+            policy.label(),
+            deployment.spec.service_count(),
+            sheddable_fraction(&deployment.spec) * 100.0,
+            if survivors.is_empty() {
+                "nothing".to_string()
+            } else {
+                survivors.join(", ")
+            }
+        );
+    }
+    println!(
+        "\nThe monolith is all-or-nothing: at 4 CPUs the whole store goes dark.\n\
+         Separated deployments keep the checkout path alive — code-level tags\n\
+         made the app diagonally scalable without touching its logic."
+    );
+    Ok(())
+}

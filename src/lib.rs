@@ -1,0 +1,65 @@
+//! **Phoenix** — cooperative graceful degradation for containerized
+//! clouds, with the **AdaptLab** resilience benchmarking platform.
+//!
+//! A from-scratch Rust reproduction of *"Cooperative Graceful Degradation
+//! in Containerized Clouds"* (ASPLOS 2025): applications annotate their
+//! containers with [criticality tags](core::tags::Criticality), and during
+//! large-scale failures the [Phoenix controller](core::controller) turns
+//! those tags plus operator objectives (fairness or revenue) into capacity
+//! reallocation — *diagonal scaling*: turning off non-critical containers
+//! so critical services keep running.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `phoenix-core` | planner, objectives, controller, baseline policies |
+//! | [`cluster`] | `phoenix-cluster` | cluster state, packing (Alg. 2), failure injection |
+//! | [`dgraph`] | `phoenix-dgraph` | dependency-graph substrate |
+//! | [`lp`] | `phoenix-lp` | simplex + branch-and-bound (the Gurobi stand-in) |
+//! | [`kubesim`] | `phoenix-kubesim` | discrete-event Kubernetes control plane |
+//! | [`apps`] | `phoenix-apps` | Overleaf & HotelReservation models, load/latency |
+//! | [`adaptlab`] | `phoenix-adaptlab` | trace generation, tagging, metrics, sweeps |
+//! | [`chaos`] | `phoenix-chaos` | criticality-tag chaos audits |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use phoenix::core::controller::{PhoenixConfig, PhoenixController};
+//! use phoenix::core::objectives::ObjectiveKind;
+//! use phoenix::core::spec::{AppSpecBuilder, Workload};
+//! use phoenix::core::tags::Criticality;
+//! use phoenix::cluster::{ClusterState, Resources};
+//!
+//! // Describe an app: a critical frontend and an optional chat service.
+//! let mut b = AppSpecBuilder::new("docs");
+//! let fe = b.add_service("frontend", Resources::cpu(2.0), Some(Criticality::C1), 1);
+//! let chat = b.add_service("chat", Resources::cpu(2.0), Some(Criticality::new(5)), 1);
+//! b.add_dependency(fe, chat);
+//! let workload = Workload::new(vec![b.build()?]);
+//!
+//! // A degraded cluster: only one 2-CPU node is healthy.
+//! let mut state = ClusterState::homogeneous(2, Resources::cpu(2.0));
+//! state.fail_node(phoenix::cluster::NodeId::new(1));
+//!
+//! // Phoenix sheds chat and keeps the frontend.
+//! let controller = PhoenixController::new(
+//!     workload,
+//!     PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+//! );
+//! let plan = controller.plan(&state);
+//! assert_eq!(plan.target.pod_count(), 1);
+//! # Ok::<(), phoenix::core::spec::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use phoenix_adaptlab as adaptlab;
+pub use phoenix_apps as apps;
+pub use phoenix_chaos as chaos;
+pub use phoenix_cluster as cluster;
+pub use phoenix_core as core;
+pub use phoenix_dgraph as dgraph;
+pub use phoenix_kubesim as kubesim;
+pub use phoenix_lp as lp;
