@@ -97,7 +97,11 @@ fn app_sizes(cfg: &AlibabaConfig) -> Vec<usize> {
     let n = cfg.apps.max(1);
     let ratio = (10.0 / cfg.max_services as f64).powf(1.0 / (n.max(2) - 1) as f64);
     (0..n)
-        .map(|i| ((cfg.max_services as f64) * ratio.powi(i as i32)).round().max(10.0) as usize)
+        .map(|i| {
+            ((cfg.max_services as f64) * ratio.powi(i as i32))
+                .round()
+                .max(10.0) as usize
+        })
         .collect()
 }
 
@@ -171,13 +175,15 @@ fn generate_templates<R: Rng + ?Sized>(
     let count = (n / 3).clamp(4, 400);
     let sources: Vec<NodeId> = graph.sources().collect();
     // Heavy-tailed per-service heat, independent of node index.
-    let heat: Vec<f64> = (0..n).map(|_| rng.gen_range(0.02f64..1.0).powi(3)).collect();
+    let heat: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(0.02f64..1.0).powi(3))
+        .collect();
     let mut templates: Vec<Vec<NodeId>> = Vec::with_capacity(count);
     for t in 0..count {
         // Popular (low-rank) templates are small (2-5 services); deep rare
         // templates grow towards ~25 — the Fig. 17b shape.
         let ramp = t * 20 / count;
-        let target = (1 + rng.gen_range(1..=4) + ramp).min(n.max(2) - 1);
+        let target = (1 + rng.gen_range(1..=4usize) + ramp).min(n.max(2) - 1);
         // Hot entry for hot templates; arbitrary entry for cold ones.
         let entry = if t < count / 4 || sources.len() == 1 {
             sources[0]

@@ -94,11 +94,7 @@ impl Default for LogConfig {
 /// approximation for large weights), so hot templates are always seen
 /// while cold ones may vanish — the bias every log-based inference
 /// inherits.
-pub fn synthesize_log<R: Rng + ?Sized>(
-    app: &TraceApp,
-    cfg: &LogConfig,
-    rng: &mut R,
-) -> CallLog {
+pub fn synthesize_log<R: Rng + ?Sized>(app: &TraceApp, cfg: &LogConfig, rng: &mut R) -> CallLog {
     let rate = cfg.sample_rate.clamp(0.0, 1.0);
     let mut entries = Vec::new();
     for t in &app.templates {
@@ -264,7 +260,11 @@ pub fn agreement(inferred: &[Criticality], truth: &[Criticality]) -> TagAgreemen
         .zip(truth)
         .filter(|&(&i, &t)| i == Criticality::C1 && t == Criticality::C1)
         .count();
-    let exact = inferred.iter().zip(truth).filter(|&(&i, &t)| i == t).count();
+    let exact = inferred
+        .iter()
+        .zip(truth)
+        .filter(|&(&i, &t)| i == t)
+        .count();
     let distance: f64 = inferred
         .iter()
         .zip(truth)
@@ -313,14 +313,23 @@ mod tests {
         let a = app();
         let mut rng = StdRng::seed_from_u64(1);
         let dense = synthesize_log(&a, &LogConfig { sample_rate: 0.5 }, &mut rng);
-        let sparse = synthesize_log(&a, &LogConfig { sample_rate: 0.0005 }, &mut rng);
+        let sparse = synthesize_log(
+            &a,
+            &LogConfig {
+                sample_rate: 0.0005,
+            },
+            &mut rng,
+        );
         assert!(dense.total_observed() > sparse.total_observed());
         assert!(dense.entries.len() >= sparse.entries.len());
         assert!(sparse.unobserved().len() >= dense.unobserved().len());
         // Rough unbiasedness: the dense log sees about half the requests.
         let expect = a.total_requests() * 0.5;
         let got = dense.total_observed() as f64;
-        assert!((got - expect).abs() / expect < 0.05, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -339,7 +348,11 @@ mod tests {
     fn inference_recovers_frequency_scheme_at_high_sample_rate() {
         let a = app();
         let mut rng = StdRng::seed_from_u64(3);
-        let truth = assign(TaggingScheme::FrequencyBased { percentile: 0.9 }, &a, &mut rng);
+        let truth = assign(
+            TaggingScheme::FrequencyBased { percentile: 0.9 },
+            &a,
+            &mut rng,
+        );
         let log = synthesize_log(&a, &LogConfig { sample_rate: 0.5 }, &mut rng);
         let inferred = infer_tags(&log, &InferenceConfig::default());
         let score = agreement(&inferred, &truth);
@@ -355,7 +368,13 @@ mod tests {
     fn sparse_logs_leave_services_unobserved_and_lowest() {
         let a = app();
         let mut rng = StdRng::seed_from_u64(4);
-        let log = synthesize_log(&a, &LogConfig { sample_rate: 0.0002 }, &mut rng);
+        let log = synthesize_log(
+            &a,
+            &LogConfig {
+                sample_rate: 0.0002,
+            },
+            &mut rng,
+        );
         let inferred = infer_tags(&log, &InferenceConfig::default());
         let hidden = log.unobserved();
         assert!(!hidden.is_empty(), "expected unobserved services at 0.02%");
@@ -375,7 +394,10 @@ mod tests {
             return; // seed produced full visibility; nothing to rescue
         }
         let gc = hidden[0];
-        let fixed = apply_overrides(inferred, &[(gc, Criticality::C1), (usize::MAX, Criticality::C1)]);
+        let fixed = apply_overrides(
+            inferred,
+            &[(gc, Criticality::C1), (usize::MAX, Criticality::C1)],
+        );
         assert_eq!(fixed[gc], Criticality::C1);
     }
 

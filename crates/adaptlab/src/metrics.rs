@@ -33,7 +33,12 @@ pub struct SchemeMetrics {
 }
 
 /// Is service `(app, service)` fully active (all replicas placed)?
-pub fn service_active(workload: &Workload, state: &ClusterState, app: usize, service: usize) -> bool {
+pub fn service_active(
+    workload: &Workload,
+    state: &ClusterState,
+    app: usize,
+    service: usize,
+) -> bool {
     let spec = workload
         .app(phoenix_core::spec::AppId::new(app as u32))
         .service(phoenix_core::spec::ServiceId::new(service as u32));
@@ -150,7 +155,11 @@ mod tests {
 
     fn place(state: &mut ClusterState, app: u32, svc: u32, node: u32) {
         state
-            .assign(PodKey::new(app, svc, 0), Resources::cpu(2.0), NodeId::new(node))
+            .assign(
+                PodKey::new(app, svc, 0),
+                Resources::cpu(2.0),
+                NodeId::new(node),
+            )
             .unwrap();
     }
 

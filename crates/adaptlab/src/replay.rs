@@ -96,8 +96,7 @@ pub fn replay(
 /// restored nodes are *not* resurrected (the policy replan handles that).
 fn set_capacity_fraction(state: &mut ClusterState, frac: f64, rng: &mut StdRng) {
     // Preserve current assignments on surviving nodes: remember them.
-    let keep: Vec<(PodKey, NodeId, phoenix_cluster::Resources)> =
-        state.assignments().collect();
+    let keep: Vec<(PodKey, NodeId, phoenix_cluster::Resources)> = state.assignments().collect();
     restore_all(state);
     let total = state.node_count();
     let fail_count = ((1.0 - frac) * total as f64).round() as usize;
@@ -168,14 +167,7 @@ mod tests {
     #[test]
     fn full_capacity_serves_full_load() {
         let e = env();
-        let r = replay(
-            &e,
-            &PhoenixPolicy::fair(),
-            &vec![(0.0, 1.0)],
-            60.0,
-            15.0,
-            1,
-        );
+        let r = replay(&e, &PhoenixPolicy::fair(), &vec![(0.0, 1.0)], 60.0, 15.0, 1);
         assert_eq!(r.ticks.len(), 4);
         let first = r.ticks[0].served_rps;
         assert!(first > 0.0);

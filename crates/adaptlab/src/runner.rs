@@ -113,7 +113,10 @@ pub fn failure_sweep(
         .iter()
         .enumerate()
         .flat_map(|(fi, &frac)| {
-            policies.iter().enumerate().map(move |(pi, p)| (fi, frac, pi, p))
+            policies
+                .iter()
+                .enumerate()
+                .map(move |(pi, p)| (fi, frac, pi, p))
         })
         .map(|(fi, frac, pi, policy)| {
             let m = acc[fi * policies.len() + pi];
@@ -221,12 +224,17 @@ mod tests {
                 .unwrap()
                 .metrics
                 .availability
-                .max(point(&points, "PhoenixCost", frac).unwrap().metrics.availability);
-            let dfl = point(&points, "Default", frac).unwrap().metrics.availability;
-            assert!(
-                phx >= dfl,
-                "frac {frac}: Phoenix {phx} < Default {dfl}"
-            );
+                .max(
+                    point(&points, "PhoenixCost", frac)
+                        .unwrap()
+                        .metrics
+                        .availability,
+                );
+            let dfl = point(&points, "Default", frac)
+                .unwrap()
+                .metrics
+                .availability;
+            assert!(phx >= dfl, "frac {frac}: Phoenix {phx} < Default {dfl}");
         }
 
         // PhoenixCost maximizes revenue among the roster at 50 %.
@@ -260,7 +268,10 @@ mod tests {
             },
             &roster(),
         );
-        let phx = point(&points, "PhoenixFair", 0.5).unwrap().metrics.availability;
+        let phx = point(&points, "PhoenixFair", 0.5)
+            .unwrap()
+            .metrics
+            .availability;
         let dfl = point(&points, "Default", 0.5).unwrap().metrics.availability;
         assert!(phx >= dfl, "zoned: {phx} < {dfl}");
     }

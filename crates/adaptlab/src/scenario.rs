@@ -152,8 +152,7 @@ pub fn build_env(cfg: &EnvConfig) -> AdaptLabEnv {
             .partial_cmp(&a.demand.scalar())
             .expect("finite demands")
     });
-    let mut baseline =
-        ClusterState::homogeneous(cfg.nodes, Resources::cpu(cfg.node_capacity));
+    let mut baseline = ClusterState::homogeneous(cfg.nodes, Resources::cpu(cfg.node_capacity));
     let outcome = pack(&mut baseline, &plan, &PackingConfig::default());
     assert!(
         outcome.unplaced.is_empty(),
@@ -203,11 +202,7 @@ mod tests {
     #[test]
     fn all_pods_placed_in_baseline() {
         let env = build_env(&small_cfg());
-        let total_pods: usize = env
-            .workload
-            .apps()
-            .map(|(_, a)| a.service_count())
-            .sum();
+        let total_pods: usize = env.workload.apps().map(|(_, a)| a.service_count()).sum();
         assert_eq!(env.baseline.pod_count(), total_pods);
     }
 
@@ -240,7 +235,11 @@ mod tests {
     #[test]
     fn prices_vary_across_instances() {
         let env = build_env(&small_cfg());
-        let prices: Vec<f64> = env.workload.apps().map(|(_, a)| a.price_per_unit()).collect();
+        let prices: Vec<f64> = env
+            .workload
+            .apps()
+            .map(|(_, a)| a.price_per_unit())
+            .collect();
         assert!(prices.iter().any(|&p| (p - prices[0]).abs() > 1e-9));
         assert!(prices.iter().all(|&p| (1.0..5.0).contains(&p)));
     }

@@ -245,9 +245,17 @@ mod tests {
         let a = app();
         let mut rng = StdRng::seed_from_u64(2);
         let count = |tags: &[Criticality]| tags.iter().filter(|&&t| t == Criticality::C1).count();
-        let sl = assign(TaggingScheme::ServiceLevel { percentile: 0.9 }, &a, &mut rng);
+        let sl = assign(
+            TaggingScheme::ServiceLevel { percentile: 0.9 },
+            &a,
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(2);
-        let fb = assign(TaggingScheme::FrequencyBased { percentile: 0.9 }, &a, &mut rng);
+        let fb = assign(
+            TaggingScheme::FrequencyBased { percentile: 0.9 },
+            &a,
+            &mut rng,
+        );
         assert!(
             count(&fb) <= count(&sl),
             "freq-based {} should not exceed service-level {}",
@@ -261,7 +269,11 @@ mod tests {
         // Fig. 17c: a large share of requests from a small service subset.
         let a = app();
         let mut rng = StdRng::seed_from_u64(3);
-        let tags = assign(TaggingScheme::FrequencyBased { percentile: 0.8 }, &a, &mut rng);
+        let tags = assign(
+            TaggingScheme::FrequencyBased { percentile: 0.8 },
+            &a,
+            &mut rng,
+        );
         let c1 = tags.iter().filter(|&&t| t == Criticality::C1).count();
         let frac = c1 as f64 / tags.len() as f64;
         assert!(frac < 0.35, "C1 fraction {frac} too large for 80% coverage");
@@ -271,7 +283,11 @@ mod tests {
     fn rest_bucketed_by_cpm() {
         let a = app();
         let mut rng = StdRng::seed_from_u64(4);
-        let tags = assign(TaggingScheme::ServiceLevel { percentile: 0.5 }, &a, &mut rng);
+        let tags = assign(
+            TaggingScheme::ServiceLevel { percentile: 0.5 },
+            &a,
+            &mut rng,
+        );
         let cpm = a.calls_per_minute();
         // Among non-C1 services, average CPM of C2s exceeds that of C9/C10s.
         let avg = |lo: u8, hi: u8| {
@@ -303,7 +319,11 @@ mod tests {
     fn stubs_inherit_their_callers_criticality() {
         let a = app();
         let mut rng = StdRng::seed_from_u64(9);
-        let tags = assign(TaggingScheme::ServiceLevel { percentile: 0.5 }, &a, &mut rng);
+        let tags = assign(
+            TaggingScheme::ServiceLevel { percentile: 0.5 },
+            &a,
+            &mut rng,
+        );
         let adjusted = inherit_stub_tags(&a, &tags);
         let stubs = single_upstream_stubs(&a);
         for n in a.graph.node_ids() {

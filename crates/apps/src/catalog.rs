@@ -145,9 +145,9 @@ impl AppModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phoenix_cluster::Resources;
     use phoenix_core::spec::AppSpecBuilder;
     use phoenix_core::tags::Criticality;
-    use phoenix_cluster::Resources;
 
     fn model(crash_proof: bool) -> AppModel {
         let mut b = AppSpecBuilder::new("m");

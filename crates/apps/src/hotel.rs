@@ -96,18 +96,23 @@ pub fn hotel(name: &str, variant: HotelVariant, scale: f64) -> AppModel {
     }
     let spec = b.build().expect("hotel spec is valid");
 
-    let req = |name: &str, path: &[usize], optional: &[usize], rate: f64, degraded: f64| {
-        RequestType {
+    let req =
+        |name: &str, path: &[usize], optional: &[usize], rate: f64, degraded: f64| RequestType {
             name: name.into(),
             path: path.iter().map(|&i| sid(i)).collect(),
             optional: optional.iter().map(|&i| sid(i)).collect(),
             rate_rps: rate * scale,
             utility_full: 1.0,
             utility_degraded: degraded,
-        }
-    };
+        };
     let requests = vec![
-        req("search", &[FRONTEND, SEARCH, GEO, RATE, PROFILE], &[], 60.0, 1.0),
+        req(
+            "search",
+            &[FRONTEND, SEARCH, GEO, RATE, PROFILE],
+            &[],
+            60.0,
+            1.0,
+        ),
         req(
             "recommend",
             &[FRONTEND, RECOMMENDATION, PROFILE],
@@ -116,7 +121,13 @@ pub fn hotel(name: &str, variant: HotelVariant, scale: f64) -> AppModel {
             1.0,
         ),
         // Reserving as a guest when `user` is off: utility 0.8 (Fig. 6f).
-        req("reserve", &[FRONTEND, RESERVATION, USER], &[USER], 20.0, 0.8),
+        req(
+            "reserve",
+            &[FRONTEND, RESERVATION, USER],
+            &[USER],
+            20.0,
+            0.8,
+        ),
         req("login", &[FRONTEND, USER], &[], 10.0, 1.0),
     ];
     let critical_request = match variant {

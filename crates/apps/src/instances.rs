@@ -93,7 +93,10 @@ mod tests {
         let c1_share = c1 / total;
         assert!((0.50..=0.70).contains(&c1_share), "C1 share {c1_share}");
         let c1_cluster = c1 / cluster;
-        assert!((0.35..=0.50).contains(&c1_cluster), "C1 vs cluster {c1_cluster}");
+        assert!(
+            (0.35..=0.50).contains(&c1_cluster),
+            "C1 vs cluster {c1_cluster}"
+        );
     }
 
     #[test]

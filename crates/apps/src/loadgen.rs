@@ -89,8 +89,8 @@ pub fn generate_series(
             if backlog_cfg.enabled {
                 let nominal = model.requests[r].rate_rps;
                 if o.served_rps <= 0.0 {
-                    backlog[r] = (backlog[r] + nominal * dt)
-                        .min(nominal * backlog_cfg.max_backlog_secs);
+                    backlog[r] =
+                        (backlog[r] + nominal * dt).min(nominal * backlog_cfg.max_backlog_secs);
                 } else if backlog[r] > 0.0 {
                     let extra_rate = nominal * (backlog_cfg.drain_factor - 1.0).max(0.0);
                     let drained = (extra_rate * dt).min(backlog[r]);
@@ -136,7 +136,12 @@ mod tests {
         assert_eq!(s.served[spell][4], 0.0);
         let nominal = m.requests[spell].rate_rps;
         // Post-recovery drain exceeds nominal (the Fig. 6c spike)…
-        assert!(s.served[spell][8] > nominal, "{} !> {}", s.served[spell][8], nominal);
+        assert!(
+            s.served[spell][8] > nominal,
+            "{} !> {}",
+            s.served[spell][8],
+            nominal
+        );
         // …and eventually settles back to nominal.
         assert!((s.served[spell][19] - nominal).abs() < 1e-9);
         // Other request types are unaffected.
@@ -171,10 +176,7 @@ mod tests {
             !(svc == spelling && (3..250).contains(&tick))
         });
         let nominal = m.requests[2].rate_rps;
-        let extra: f64 = s.served[2]
-            .iter()
-            .map(|&v| (v - nominal).max(0.0))
-            .sum();
+        let extra: f64 = s.served[2].iter().map(|&v| (v - nominal).max(0.0)).sum();
         assert!(extra <= nominal * 2.0 + 1e-6, "extra {extra}");
     }
 

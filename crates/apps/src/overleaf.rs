@@ -137,7 +137,12 @@ pub fn overleaf(name: &str, variant: OverleafVariant, scale: f64) -> AppModel {
         utility_degraded: 0.8,
     };
     let requests = vec![
-        req("edits", &[WEB, REAL_TIME, DOC_UPDATER, DOCSTORE], &[], 100.0),
+        req(
+            "edits",
+            &[WEB, REAL_TIME, DOC_UPDATER, DOCSTORE],
+            &[],
+            100.0,
+        ),
         req("compile", &[WEB, CLSI, FILESTORE], &[], 10.0),
         req("spell_check", &[WEB, SPELLING], &[], 30.0),
         req(
@@ -213,9 +218,7 @@ mod tests {
     fn scale_multiplies_demands_and_rates() {
         let base = overleaf("o", OverleafVariant::Edits, 1.0);
         let big = overleaf("o", OverleafVariant::Edits, 2.0);
-        assert!(
-            (big.spec.total_demand().cpu - 2.0 * base.spec.total_demand().cpu).abs() < 1e-9
-        );
+        assert!((big.spec.total_demand().cpu - 2.0 * base.spec.total_demand().cpu).abs() < 1e-9);
         assert_eq!(big.requests[0].rate_rps, 200.0);
     }
 

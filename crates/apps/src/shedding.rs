@@ -193,7 +193,14 @@ pub fn shed(
     // serve 1/f as many requests.
     let effective_capacity = scenario.capacity_rps / cost_factor;
 
-    let admitted = admit(model, &offered, &alive, live_demand, effective_capacity, policy);
+    let admitted = admit(
+        model,
+        &offered,
+        &alive,
+        live_demand,
+        effective_capacity,
+        policy,
+    );
 
     base.iter()
         .enumerate()
@@ -251,12 +258,13 @@ fn admit(
             // Utility-per-request order; the critical request wins ties.
             let mut order: Vec<usize> = (0..offered.len()).filter(|&i| alive[i]).collect();
             order.sort_by(|&a, &b| {
-                let (ua, ub) = (model.requests[a].utility_full, model.requests[b].utility_full);
+                let (ua, ub) = (
+                    model.requests[a].utility_full,
+                    model.requests[b].utility_full,
+                );
                 ub.partial_cmp(&ua)
                     .expect("utilities are finite")
-                    .then_with(|| {
-                        (b == model.critical_request).cmp(&(a == model.critical_request))
-                    })
+                    .then_with(|| (b == model.critical_request).cmp(&(a == model.critical_request)))
                     .then(a.cmp(&b))
             });
             let mut left = capacity;
@@ -293,9 +301,9 @@ pub fn summarize(model: &AppModel, outcomes: &[ShedOutcome]) -> ShedSummary {
 mod tests {
     use super::*;
     use crate::catalog::RequestType;
+    use phoenix_cluster::Resources;
     use phoenix_core::spec::AppSpecBuilder;
     use phoenix_core::tags::Criticality;
-    use phoenix_cluster::Resources;
 
     /// Critical "pay" (utility 1.0, 60 rps) and optional "browse"
     /// (utility 0.3, 140 rps); browse routes through an optional C5
@@ -362,10 +370,19 @@ mod tests {
             load_multiplier: 2.0, // offered 400 vs capacity 200
             capacity_rps: 200.0,
         };
-        let none = summarize(&m, &shed(&m, all_up, &scenario, SheddingPolicy::None, QosPolicy::Full));
+        let none = summarize(
+            &m,
+            &shed(&m, all_up, &scenario, SheddingPolicy::None, QosPolicy::Full),
+        );
         let uniform = summarize(
             &m,
-            &shed(&m, all_up, &scenario, SheddingPolicy::Uniform, QosPolicy::Full),
+            &shed(
+                &m,
+                all_up,
+                &scenario,
+                SheddingPolicy::Uniform,
+                QosPolicy::Full,
+            ),
         );
         // Collapse: goodput 200×(200/400) = 100 < 200 held by shedding.
         assert!((none.served_rps - 100.0).abs() < 1e-9);
@@ -382,11 +399,23 @@ mod tests {
         };
         let uniform = summarize(
             &m,
-            &shed(&m, all_up, &scenario, SheddingPolicy::Uniform, QosPolicy::Full),
+            &shed(
+                &m,
+                all_up,
+                &scenario,
+                SheddingPolicy::Uniform,
+                QosPolicy::Full,
+            ),
         );
         let priority = summarize(
             &m,
-            &shed(&m, all_up, &scenario, SheddingPolicy::PriorityAware, QosPolicy::Full),
+            &shed(
+                &m,
+                all_up,
+                &scenario,
+                SheddingPolicy::PriorityAware,
+                QosPolicy::Full,
+            ),
         );
         // Uniform sheds pay to 50 %; priority serves all 120 offered pay rps
         // and gives browse the 80 rps remainder.
@@ -427,9 +456,18 @@ mod tests {
         };
         let full = summarize(
             &m,
-            &shed(&m, all_up, &scenario, SheddingPolicy::Uniform, QosPolicy::Full),
+            &shed(
+                &m,
+                all_up,
+                &scenario,
+                SheddingPolicy::Uniform,
+                QosPolicy::Full,
+            ),
         );
-        let dimmed = summarize(&m, &shed(&m, all_up, &scenario, SheddingPolicy::Uniform, dim));
+        let dimmed = summarize(
+            &m,
+            &shed(&m, all_up, &scenario, SheddingPolicy::Uniform, dim),
+        );
         // Half-cost requests double effective capacity: all 400 rps served.
         assert!((dimmed.served_rps - 400.0).abs() < 1e-9);
         assert!(dimmed.served_rps > full.served_rps);
@@ -469,7 +507,13 @@ mod tests {
         // Diagonal scaling turned the recommender off: browse degrades but
         // still serves (crash-proof), pay unaffected.
         let rec_down = |s: ServiceId| s.index() != 2;
-        let out = shed(&m, rec_down, &scenario, SheddingPolicy::PriorityAware, QosPolicy::Full);
+        let out = shed(
+            &m,
+            rec_down,
+            &scenario,
+            SheddingPolicy::PriorityAware,
+            QosPolicy::Full,
+        );
         let s = summarize(&m, &out);
         assert_eq!(s.critical_served_frac, 1.0);
         // Browse survives at degraded utility 0.2 for the 30 rps remainder.

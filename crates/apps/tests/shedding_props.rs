@@ -4,9 +4,9 @@
 
 use phoenix_apps::catalog::{AppModel, RequestType};
 use phoenix_apps::shedding::{shed, summarize, OverloadScenario, QosPolicy, SheddingPolicy};
+use phoenix_cluster::Resources;
 use phoenix_core::spec::{AppSpecBuilder, ServiceId};
 use phoenix_core::tags::Criticality;
-use phoenix_cluster::Resources;
 use proptest::prelude::*;
 
 /// A random crash-proof app: one service per request type (no optional

@@ -23,7 +23,11 @@ fn bench_packing(c: &mut Criterion) {
     let mut group = c.benchmark_group("packing");
     group.sample_size(20);
     let plan = plan_of(2000, 3);
-    for fit in [FitStrategy::BestFit, FitStrategy::FirstFit, FitStrategy::WorstFit] {
+    for fit in [
+        FitStrategy::BestFit,
+        FitStrategy::FirstFit,
+        FitStrategy::WorstFit,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("fit", format!("{fit:?}")),
             &fit,

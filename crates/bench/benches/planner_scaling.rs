@@ -36,11 +36,9 @@ fn bench_planner(c: &mut Criterion) {
     for nodes in [100usize, 500, 2000] {
         let (env, failed) = env_of(nodes);
         for policy in [PhoenixPolicy::fair(), PhoenixPolicy::cost()] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), nodes),
-                &nodes,
-                |b, _| b.iter(|| policy.plan(&env.workload, &failed)),
-            );
+            group.bench_with_input(BenchmarkId::new(policy.name(), nodes), &nodes, |b, _| {
+                b.iter(|| policy.plan(&env.workload, &failed))
+            });
         }
     }
     group.finish();

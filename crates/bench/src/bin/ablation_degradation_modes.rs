@@ -68,9 +68,24 @@ fn main() {
     );
 
     let modes: Vec<(&str, &ClusterState, SheddingPolicy, QosPolicy)> = vec![
-        ("no adaptation", &failed, SheddingPolicy::None, QosPolicy::Full),
-        ("shed only", &failed, SheddingPolicy::PriorityAware, QosPolicy::Full),
-        ("diagonal only", &replanned, SheddingPolicy::None, QosPolicy::Full),
+        (
+            "no adaptation",
+            &failed,
+            SheddingPolicy::None,
+            QosPolicy::Full,
+        ),
+        (
+            "shed only",
+            &failed,
+            SheddingPolicy::PriorityAware,
+            QosPolicy::Full,
+        ),
+        (
+            "diagonal only",
+            &replanned,
+            SheddingPolicy::None,
+            QosPolicy::Full,
+        ),
         (
             "diagonal + shed",
             &replanned,

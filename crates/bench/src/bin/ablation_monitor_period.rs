@@ -57,7 +57,13 @@ fn main() {
             heartbeat_grace: SimTime::from_secs(grace_secs),
             ..SimConfig::default()
         };
-        let trace = simulate(&workload, &PhoenixPolicy::fair(), &scenario(seed), &cfg, horizon);
+        let trace = simulate(
+            &workload,
+            &PhoenixPolicy::fair(),
+            &scenario(seed),
+            &cfg,
+            horizon,
+        );
         let failure = trace.first("failure").expect("failure occurs");
         let row_time = |label: &str| {
             trace

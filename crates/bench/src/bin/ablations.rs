@@ -39,7 +39,10 @@ fn main() {
     let base_rev = revenue(&env.workload, &env.baseline);
 
     let variants: Vec<(String, PhoenixPolicy)> = vec![
-        ("baseline (dfs, retire, best-fit, migration)".into(), PhoenixPolicy::fair()),
+        (
+            "baseline (dfs, retire, best-fit, migration)".into(),
+            PhoenixPolicy::fair(),
+        ),
         (
             "traversal = strict frontier".into(),
             PhoenixPolicy::fair().planner_config(PlannerConfig {

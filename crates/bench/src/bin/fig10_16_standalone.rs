@@ -51,13 +51,7 @@ fn main() {
                 },
                 &roster,
             );
-            let mut t = Table::new([
-                "failed%",
-                "scheme",
-                "availability",
-                "revenue",
-                "fair-dev",
-            ]);
+            let mut t = Table::new(["failed%", "scheme", "availability", "revenue", "fair-dev"]);
             for &frac in &fracs {
                 for p in &roster {
                     let m = point(&points, p.name(), frac).unwrap().metrics;

@@ -28,7 +28,14 @@ fn main() {
     t.print("Figure 17a: dependency-graph size vs. user requests served");
 
     // (b) Call-graph size CDF for the top-4 apps.
-    let mut t = Table::new(["app", "P50 size", "P80 size", "P90 size", "max", "<10 services"]);
+    let mut t = Table::new([
+        "app",
+        "P50 size",
+        "P80 size",
+        "P90 size",
+        "max",
+        "<10 services",
+    ]);
     for a in apps.iter().take(4) {
         let mut weighted: Vec<(usize, f64)> = a
             .templates
@@ -114,9 +121,21 @@ fn main() {
     // §3.2 statistics.
     let st = stats(&apps);
     let mut t = Table::new(["statistic", "measured", "paper"]);
-    t.row(["single-upstream (top-4)", &f3(st.single_upstream_top4), "0.74"]);
-    t.row(["single-upstream (all 18)", &f3(st.single_upstream_all), "0.82"]);
-    t.row(["top-4 request share", &f3(st.top4_request_share), "\"most\""]);
+    t.row([
+        "single-upstream (top-4)",
+        &f3(st.single_upstream_top4),
+        "0.74",
+    ]);
+    t.row([
+        "single-upstream (all 18)",
+        &f3(st.single_upstream_all),
+        "0.82",
+    ]);
+    t.row([
+        "top-4 request share",
+        &f3(st.top4_request_share),
+        "\"most\"",
+    ]);
     t.row([
         "App1 call graphs <10 services",
         &f3(st.app1_small_template_share),

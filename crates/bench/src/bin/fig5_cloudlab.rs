@@ -93,8 +93,7 @@ fn main() {
         let avail = goals_met as f64 / models.len() as f64;
         let rev = revenue(&workload, &plan.target) / baseline_revenue;
         let alloc = allocations(&workload, &plan.target);
-        let (pos, neg) =
-            fair_share_deviation(&demands, &alloc, plan.target.healthy_capacity().cpu);
+        let (pos, neg) = fair_share_deviation(&demands, &alloc, plan.target.healthy_capacity().cpu);
         table.row([
             policy.name().to_string(),
             format!("{goals_met}/{} ({})", models.len(), f3(avail)),

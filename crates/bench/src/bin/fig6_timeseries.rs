@@ -61,8 +61,20 @@ fn main() {
     let step = arg("step", 30u64);
     let cfg = SimConfig::default();
 
-    let phoenix_trace = simulate(&workload, &PhoenixPolicy::fair(), &scenario(), &cfg, horizon);
-    let cost_trace = simulate(&workload, &PhoenixPolicy::cost(), &scenario(), &cfg, horizon);
+    let phoenix_trace = simulate(
+        &workload,
+        &PhoenixPolicy::fair(),
+        &scenario(),
+        &cfg,
+        horizon,
+    );
+    let cost_trace = simulate(
+        &workload,
+        &PhoenixPolicy::cost(),
+        &scenario(),
+        &cfg,
+        horizon,
+    );
     let default_trace = simulate(&workload, &DefaultPolicy, &scenario(), &cfg, horizon);
 
     // (a)/(b): milestones + availability over time.
@@ -88,8 +100,16 @@ fn main() {
     // (c)-(f): per-request series for Overleaf0 and HR1 under Phoenix.
     let secs: Vec<f64> = times.iter().map(|&t| t as f64).collect();
     for (app_idx, name, requests) in [
-        (0usize, "Overleaf0", vec!["edits", "spell_check", "versioning"]),
-        (4usize, "HR1", vec!["reserve", "recommend", "search", "login"]),
+        (
+            0usize,
+            "Overleaf0",
+            vec!["edits", "spell_check", "versioning"],
+        ),
+        (
+            4usize,
+            "HR1",
+            vec!["reserve", "recommend", "search", "login"],
+        ),
     ] {
         let model = &models[app_idx];
         let series = generate_series(model, &secs, &BacklogConfig::default(), |tick, svc| {

@@ -42,9 +42,7 @@ fn main() {
     let names: Vec<String> = roster.iter().map(|p| p.name().to_string()).collect();
 
     // (a) Critical service availability.
-    let mut t = Table::new(
-        std::iter::once("failed%".to_string()).chain(names.iter().cloned()),
-    );
+    let mut t = Table::new(std::iter::once("failed%".to_string()).chain(names.iter().cloned()));
     for &frac in &sweep.failure_fracs {
         let mut row = vec![format!("{:.0}", frac * 100.0)];
         for n in &names {
@@ -55,9 +53,7 @@ fn main() {
     t.print("Figure 7(a): critical service availability vs. failure level");
 
     // (b) Normalized revenue.
-    let mut t = Table::new(
-        std::iter::once("failed%".to_string()).chain(names.iter().cloned()),
-    );
+    let mut t = Table::new(std::iter::once("failed%".to_string()).chain(names.iter().cloned()));
     for &frac in &sweep.failure_fracs {
         let mut row = vec![format!("{:.0}", frac * 100.0)];
         for n in &names {

@@ -41,7 +41,12 @@ fn main() {
     ];
     let results: Vec<_> = policies
         .iter()
-        .map(|p| (p.name(), replay(&env, p.as_ref(), &script, duration, step, 11)))
+        .map(|p| {
+            (
+                p.name(),
+                replay(&env, p.as_ref(), &script, duration, step, 11),
+            )
+        })
         .collect();
 
     let mut header = vec!["t(s)".to_string(), "capacity".to_string()];

@@ -14,9 +14,7 @@ use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
 use phoenix_bench::{arg, flag, secs, Table};
 use phoenix_cluster::failure::fail_fraction;
-use phoenix_core::policies::{
-    DefaultPolicy, LpPolicy, PhoenixPolicy, ResiliencePolicy,
-};
+use phoenix_core::policies::{DefaultPolicy, LpPolicy, PhoenixPolicy, ResiliencePolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

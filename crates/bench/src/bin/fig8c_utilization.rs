@@ -48,9 +48,16 @@ fn main() {
         let result = controller.plan(&failed);
         // Planner-level utilization: what the aggregate plan admitted.
         let planned: f64 = result.rank.allocated.iter().sum();
-        let planner_util = if capacity > 0.0 { planned / capacity } else { 0.0 };
+        let planner_util = if capacity > 0.0 {
+            planned / capacity
+        } else {
+            0.0
+        };
         let sched_util = result.target.utilization();
-        let default_util = DefaultPolicy.plan(&env.workload, &failed).target.utilization();
+        let default_util = DefaultPolicy
+            .plan(&env.workload, &failed)
+            .target
+            .utilization();
         table.row([
             format!("{:.0}", frac * 100.0),
             f3(planner_util.min(1.0)),

@@ -29,7 +29,8 @@ impl Table {
 
     /// Appends a row (stringified cells).
     pub fn row(&mut self, cells: impl IntoIterator<Item = impl Display>) -> &mut Table {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
         self
     }
 

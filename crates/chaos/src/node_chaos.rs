@@ -81,11 +81,16 @@ pub fn node_chaos(
             victims.shuffle(&mut rng);
             victims.truncate(((config.nodes as f64) * frac).round() as usize);
             scenario.kubelet_stop_at(config.fail_at, victims);
-            let trace = simulate(&workload, policy, &scenario, &SimConfig::default(), config.horizon);
+            let trace = simulate(
+                &workload,
+                policy,
+                &scenario,
+                &SimConfig::default(),
+                config.horizon,
+            );
 
-            let up_at = |t: SimTime, s: ServiceId| {
-                trace.service_up(&workload, 0, s.index() as u32, t)
-            };
+            let up_at =
+                |t: SimTime, s: ServiceId| trace.service_up(&workload, 0, s.index() as u32, t);
             // Critical restoration: first sample after the failure where the
             // critical goal holds again.
             let critical_restore = trace
@@ -117,8 +122,7 @@ pub fn node_chaos(
                 failure_frac: frac,
                 settled_utility,
                 critical_recovered: critical_restore.is_some(),
-                critical_restore_after: critical_restore
-                    .map(|t| t.saturating_sub(config.fail_at)),
+                critical_restore_after: critical_restore.map(|t| t.saturating_sub(config.fail_at)),
             }
         })
         .collect()
@@ -185,8 +189,12 @@ mod tests {
         assert_eq!(out.len(), 4);
         // Harvest is non-increasing in failure degree (same seed/victims).
         for w in out.windows(2) {
-            assert!(w[1].settled_utility <= w[0].settled_utility + 1e-9,
-                "{} -> {}", w[0].settled_utility, w[1].settled_utility);
+            assert!(
+                w[1].settled_utility <= w[0].settled_utility + 1e-9,
+                "{} -> {}",
+                w[0].settled_utility,
+                w[1].settled_utility
+            );
         }
     }
 }

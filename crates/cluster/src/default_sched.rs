@@ -71,11 +71,10 @@ mod tests {
     #[test]
     fn spreads_least_allocated() {
         let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        state.assign(pod(9), Resources::cpu(4.0), NodeId::new(0)).unwrap();
-        let out = schedule_pending(
-            &mut state,
-            &[PlannedPod::new(pod(0), Resources::cpu(2.0))],
-        );
+        state
+            .assign(pod(9), Resources::cpu(4.0), NodeId::new(0))
+            .unwrap();
+        let out = schedule_pending(&mut state, &[PlannedPod::new(pod(0), Resources::cpu(2.0))]);
         // Node1 has more remaining → spread there.
         assert_eq!(out.placed, vec![(pod(0), NodeId::new(1))]);
     }
@@ -83,11 +82,10 @@ mod tests {
     #[test]
     fn pending_when_no_fit_and_never_deletes() {
         let mut state = ClusterState::homogeneous(1, Resources::cpu(5.0));
-        state.assign(pod(9), Resources::cpu(4.0), NodeId::new(0)).unwrap();
-        let out = schedule_pending(
-            &mut state,
-            &[PlannedPod::new(pod(0), Resources::cpu(3.0))],
-        );
+        state
+            .assign(pod(9), Resources::cpu(4.0), NodeId::new(0))
+            .unwrap();
+        let out = schedule_pending(&mut state, &[PlannedPod::new(pod(0), Resources::cpu(3.0))]);
         assert_eq!(out.pending, vec![pod(0)]);
         // The running pod is untouched.
         assert_eq!(state.node_of(pod(9)), Some(NodeId::new(0)));
@@ -115,8 +113,7 @@ mod tests {
         // the descending scan) — arbitrary but stable across runs.
         let run = || {
             let mut state = ClusterState::homogeneous(3, Resources::cpu(10.0));
-            schedule_pending(&mut state, &[PlannedPod::new(pod(0), Resources::cpu(1.0))])
-                .placed
+            schedule_pending(&mut state, &[PlannedPod::new(pod(0), Resources::cpu(1.0))]).placed
         };
         assert_eq!(run(), run());
         assert_eq!(run(), vec![(pod(0), NodeId::new(2))]);

@@ -315,7 +315,9 @@ mod tests {
     #[test]
     fn running_pods_kept_in_place() {
         let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        state.assign(pod(0), Resources::cpu(3.0), NodeId::new(1)).unwrap();
+        state
+            .assign(pod(0), Resources::cpu(3.0), NodeId::new(1))
+            .unwrap();
         let plan = plan_of(&[(0, 3.0), (1, 2.0)]);
         let out = pack(&mut state, &plan, &PackingConfig::default());
         assert_eq!(state.node_of(pod(0)), Some(NodeId::new(1)));
@@ -326,7 +328,9 @@ mod tests {
     #[test]
     fn pods_not_in_plan_are_deleted() {
         let mut state = ClusterState::homogeneous(1, Resources::cpu(10.0));
-        state.assign(pod(7), Resources::cpu(3.0), NodeId::new(0)).unwrap();
+        state
+            .assign(pod(7), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
         let plan = plan_of(&[(0, 9.0)]);
         let out = pack(&mut state, &plan, &PackingConfig::default());
         assert_eq!(out.deletions, vec![pod(7)]);
@@ -340,16 +344,25 @@ mod tests {
         // An 8-CPU pod fits nowhere, but moving one 3-CPU pod from node0 to
         // node1 leaves node0 with 7... still not 8; moving both leaves 10.
         let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        state.assign(pod(1), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(2), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(3), Resources::cpu(4.0), NodeId::new(1)).unwrap();
+        state
+            .assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(3), Resources::cpu(4.0), NodeId::new(1))
+            .unwrap();
         let plan = plan_of(&[(1, 3.0), (2, 3.0), (3, 4.0), (0, 8.0)]);
         let out = pack(&mut state, &plan, &PackingConfig::default());
         assert!(out.unplaced.is_empty(), "unplaced: {:?}", out.unplaced);
         // Repack empties node1 (most remaining) by moving pod3 to node0,
         // then places the 8-CPU pod on the freed node1.
         assert_eq!(state.node_of(pod(0)), Some(NodeId::new(1)));
-        assert_eq!(out.migrations, vec![(pod(3), NodeId::new(1), NodeId::new(0))]);
+        assert_eq!(
+            out.migrations,
+            vec![(pod(3), NodeId::new(1), NodeId::new(0))]
+        );
         assert!(out.deletions.is_empty());
         state.check_invariants().unwrap();
     }
@@ -357,9 +370,15 @@ mod tests {
     #[test]
     fn migration_disabled_falls_through_to_deletion() {
         let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        state.assign(pod(1), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(2), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(3), Resources::cpu(4.0), NodeId::new(1)).unwrap();
+        state
+            .assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(3), Resources::cpu(4.0), NodeId::new(1))
+            .unwrap();
         let plan = plan_of(&[(0, 8.0), (1, 3.0), (2, 3.0), (3, 4.0)]);
         let cfg = PackingConfig {
             enable_migration: false,
@@ -380,8 +399,12 @@ mod tests {
         // One 10-CPU node fully used by two running pods ranked 1 and 2;
         // plan puts a new 6-CPU pod at rank 0.
         let mut state = ClusterState::homogeneous(1, Resources::cpu(10.0));
-        state.assign(pod(1), Resources::cpu(5.0), NodeId::new(0)).unwrap();
-        state.assign(pod(2), Resources::cpu(5.0), NodeId::new(0)).unwrap();
+        state
+            .assign(pod(1), Resources::cpu(5.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(5.0), NodeId::new(0))
+            .unwrap();
         let plan = plan_of(&[(0, 6.0), (1, 5.0), (2, 5.0)]);
         let out = pack(&mut state, &plan, &PackingConfig::default());
         // Lowest priority (pod2, rank 2) deleted first; that frees 5, still
@@ -403,7 +426,9 @@ mod tests {
         // later. Exercise the bookkeeping: a pod started by this pack is
         // never deleted, so starts/deletions stay disjoint.
         let mut state = ClusterState::homogeneous(1, Resources::cpu(10.0));
-        state.assign(pod(5), Resources::cpu(8.0), NodeId::new(0)).unwrap();
+        state
+            .assign(pod(5), Resources::cpu(8.0), NodeId::new(0))
+            .unwrap();
         let plan = plan_of(&[(0, 6.0), (5, 8.0)]);
         let out = pack(&mut state, &plan, &PackingConfig::default());
         assert_eq!(state.node_of(pod(0)), Some(NodeId::new(0)));
@@ -453,7 +478,8 @@ mod tests {
     fn first_fit_and_worst_fit_strategies() {
         let mk = || {
             let mut s = ClusterState::new([Resources::cpu(10.0), Resources::cpu(6.0)]);
-            s.assign(pod(9), Resources::cpu(5.0), NodeId::new(0)).unwrap();
+            s.assign(pod(9), Resources::cpu(5.0), NodeId::new(0))
+                .unwrap();
             s
         };
         let plan = vec![
@@ -524,8 +550,12 @@ mod tests {
         // Node full by count with two low-rank pods; a higher-ranked pod
         // arrives: one victim is deleted to free a slot.
         let mut state = ClusterState::homogeneous(1, Resources::cpu(10.0));
-        state.assign(pod(1), Resources::cpu(1.0), NodeId::new(0)).unwrap();
-        state.assign(pod(2), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        state
+            .assign(pod(1), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
         let plan = plan_of(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
         let cfg = PackingConfig {
             max_pods_per_node: Some(2),
@@ -545,11 +575,21 @@ mod tests {
         // An 8-CPU pod needs node0 freed; the small pods cannot move to
         // node1 (count cap) so repack fails and deletion kicks in.
         let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        state.assign(pod(1), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(2), Resources::cpu(3.0), NodeId::new(0)).unwrap();
-        state.assign(pod(3), Resources::cpu(1.0), NodeId::new(1)).unwrap();
-        state.assign(pod(4), Resources::cpu(1.0), NodeId::new(1)).unwrap();
-        state.assign(pod(5), Resources::cpu(1.0), NodeId::new(1)).unwrap();
+        state
+            .assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(3), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
+        state
+            .assign(pod(4), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
+        state
+            .assign(pod(5), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
         let plan = plan_of(&[(1, 3.0), (2, 3.0), (3, 1.0), (4, 1.0), (5, 1.0), (0, 8.0)]);
         let cfg = PackingConfig {
             max_pods_per_node: Some(3),

@@ -38,7 +38,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &OrderedF64) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN excluded at construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN excluded at construction")
     }
 }
 

@@ -265,7 +265,10 @@ impl ClusterState {
         ns.used = Resources::ZERO;
         pods.into_iter()
             .map(|p| {
-                let (_, demand) = self.assignments.remove(&p).expect("evicted pod was assigned");
+                let (_, demand) = self
+                    .assignments
+                    .remove(&p)
+                    .expect("evicted pod was assigned");
                 (p, demand)
             })
             .collect()
@@ -330,7 +333,10 @@ impl ClusterState {
                 return Err(format!("node {i}: used {} != pod sum {sum}", n.used));
             }
             if !n.used.fits_in(&n.capacity) {
-                return Err(format!("node {i}: overcommitted {} > {}", n.used, n.capacity));
+                return Err(format!(
+                    "node {i}: overcommitted {} > {}",
+                    n.used, n.capacity
+                ));
             }
             for p in &n.pods {
                 match self.assignments.get(p) {
@@ -385,7 +391,8 @@ mod tests {
     #[test]
     fn double_assign_rejected() {
         let mut c = ClusterState::homogeneous(2, Resources::cpu(5.0));
-        c.assign(pod(0, 0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        c.assign(pod(0, 0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
         let err = c
             .assign(pod(0, 0), Resources::cpu(1.0), NodeId::new(1))
             .unwrap_err();
@@ -427,7 +434,10 @@ mod tests {
         assert_eq!(c.pod_count(), 0);
         assert!(!c.is_healthy(n0));
         assert_eq!(c.remaining(n0), Resources::ZERO);
-        assert_eq!(c.assign(pod(0, 0), Resources::cpu(1.0), n0), Err(ClusterError::NodeFailed(n0)));
+        assert_eq!(
+            c.assign(pod(0, 0), Resources::cpu(1.0), n0),
+            Err(ClusterError::NodeFailed(n0))
+        );
         // Idempotent failure.
         assert!(c.fail_node(n0).is_empty());
         c.restore_node(n0);
@@ -439,7 +449,8 @@ mod tests {
     #[test]
     fn capacity_metrics() {
         let mut c = ClusterState::new([Resources::cpu(10.0), Resources::cpu(6.0)]);
-        c.assign(pod(0, 0), Resources::cpu(8.0), NodeId::new(0)).unwrap();
+        c.assign(pod(0, 0), Resources::cpu(8.0), NodeId::new(0))
+            .unwrap();
         assert_eq!(c.total_capacity().cpu, 16.0);
         assert_eq!(c.healthy_capacity().cpu, 16.0);
         assert!((c.utilization() - 0.5).abs() < 1e-9);

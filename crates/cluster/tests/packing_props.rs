@@ -7,10 +7,10 @@ use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<bool>, u8)> {
     (
-        proptest::collection::vec(4.0f64..16.0, 1..12),   // node capacities
-        proptest::collection::vec(0.5f64..6.0, 0..40),    // pod demands
-        proptest::collection::vec(any::<bool>(), 1..12),  // failure mask
-        0u8..3,                                           // fit strategy
+        proptest::collection::vec(4.0f64..16.0, 1..12), // node capacities
+        proptest::collection::vec(0.5f64..6.0, 0..40),  // pod demands
+        proptest::collection::vec(any::<bool>(), 1..12), // failure mask
+        0u8..3,                                         // fit strategy
     )
 }
 

@@ -41,9 +41,9 @@ impl Action {
     /// The pod this action touches.
     pub fn pod(&self) -> PodKey {
         match *self {
-            Action::Delete { pod, .. } | Action::Migrate { pod, .. } | Action::Start { pod, .. } => {
-                pod
-            }
+            Action::Delete { pod, .. }
+            | Action::Migrate { pod, .. }
+            | Action::Start { pod, .. } => pod,
         }
     }
 }
@@ -128,15 +128,24 @@ mod tests {
     #[test]
     fn diff_identifies_all_action_kinds() {
         let mut live = ClusterState::homogeneous(3, Resources::cpu(10.0));
-        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
-        live.assign(pod(1), Resources::cpu(1.0), NodeId::new(0)).unwrap();
-        live.assign(pod(2), Resources::cpu(1.0), NodeId::new(1)).unwrap();
+        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(1), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(2), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
 
         let mut target = ClusterState::homogeneous(3, Resources::cpu(10.0));
-        target.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap(); // kept
-        target.assign(pod(2), Resources::cpu(1.0), NodeId::new(2)).unwrap(); // migrated
-        target.assign(pod(3), Resources::cpu(1.0), NodeId::new(1)).unwrap(); // started
-        // pod(1) deleted.
+        target
+            .assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap(); // kept
+        target
+            .assign(pod(2), Resources::cpu(1.0), NodeId::new(2))
+            .unwrap(); // migrated
+        target
+            .assign(pod(3), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap(); // started
+                       // pod(1) deleted.
 
         let plan = diff_states(&live, &target);
         assert_eq!(plan.counts(), (1, 1, 1));
@@ -163,7 +172,8 @@ mod tests {
     #[test]
     fn identical_states_need_no_actions() {
         let mut live = ClusterState::homogeneous(1, Resources::cpu(10.0));
-        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
         let plan = diff_states(&live, &live.clone());
         assert!(plan.is_empty());
         assert_eq!(plan.len(), 0);
@@ -172,11 +182,17 @@ mod tests {
     #[test]
     fn ordering_is_delete_migrate_start() {
         let mut live = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        live.assign(pod(5), Resources::cpu(1.0), NodeId::new(0)).unwrap();
-        live.assign(pod(6), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        live.assign(pod(5), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(6), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
         let mut target = ClusterState::homogeneous(2, Resources::cpu(10.0));
-        target.assign(pod(6), Resources::cpu(1.0), NodeId::new(1)).unwrap();
-        target.assign(pod(7), Resources::cpu(1.0), NodeId::new(0)).unwrap();
+        target
+            .assign(pod(6), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
+        target
+            .assign(pod(7), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
         let plan = diff_states(&live, &target);
         let kinds: Vec<u8> = plan
             .actions

@@ -398,7 +398,10 @@ mod tests {
         for i in 0..3 {
             b.add_service(format!("s{i}"), Resources::cpu(1.0), None, 1);
         }
-        let report = audit_workload(&Workload::new(vec![b.build().unwrap()]), &AuditConfig::default());
+        let report = audit_workload(
+            &Workload::new(vec![b.build().unwrap()]),
+            &AuditConfig::default(),
+        );
         assert_eq!(report.apps[0].findings, vec![Finding::FullyUntagged]);
         assert_eq!(report.apps[0].untagged_share, 1.0);
     }
@@ -414,7 +417,10 @@ mod tests {
                 1,
             );
         }
-        let report = audit_workload(&Workload::new(vec![b.build().unwrap()]), &AuditConfig::default());
+        let report = audit_workload(
+            &Workload::new(vec![b.build().unwrap()]),
+            &AuditConfig::default(),
+        );
         assert_eq!(
             report.apps[0].findings,
             vec![Finding::SingleLevel {
@@ -430,7 +436,12 @@ mod tests {
         tiny.add_service("only", Resources::cpu(1.0), Some(Criticality::C1), 1);
         let mut legacy = AppSpecBuilder::new("legacy");
         for i in 0..4 {
-            legacy.add_service(format!("s{i}"), Resources::cpu(1.0), Some(Criticality::C1), 1);
+            legacy.add_service(
+                format!("s{i}"),
+                Resources::cpu(1.0),
+                Some(Criticality::C1),
+                1,
+            );
         }
         legacy.phoenix_enabled(false);
         let w = Workload::new(vec![tiny.build().unwrap(), legacy.build().unwrap()]);
@@ -510,7 +521,11 @@ mod tests {
         );
         // Fair share is 4 per app regardless of what the tags claim, so the
         // liar gains nothing and no victim loses anything.
-        assert!(br.inflator_gain().abs() < 1e-9, "gain = {}", br.inflator_gain());
+        assert!(
+            br.inflator_gain().abs() < 1e-9,
+            "gain = {}",
+            br.inflator_gain()
+        );
         assert!(br.victim_loss() < 1e-9, "loss = {}", br.victim_loss());
         assert_eq!(br.worst_victim(), None);
         assert_eq!(br.adversarial_c1[0], 1.0, "honest C1s keep running");

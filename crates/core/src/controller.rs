@@ -246,7 +246,9 @@ mod tests {
         let full = c.plan(&state);
         for (pod, node, demand) in full.target.assignments() {
             let _ = demand;
-            state.assign(pod, full.target.demand_of(pod).unwrap(), node).unwrap();
+            state
+                .assign(pod, full.target.demand_of(pod).unwrap(), node)
+                .unwrap();
         }
         let victims = state.pods_on(NodeId::new(0)).to_vec();
         assert!(!victims.is_empty());

@@ -140,9 +140,7 @@ pub fn retag(workload: &Workload, provider: &dyn TagProvider, ctx: &TagContext) 
             let mut b = crate::spec::AppSpecBuilder::new(app.name());
             for (si, svc) in app.services().iter().enumerate() {
                 let service = ServiceId::new(si as u32);
-                let tag = provider
-                    .criticality(ai, service, ctx)
-                    .or(svc.criticality);
+                let tag = provider.criticality(ai, service, ctx).or(svc.criticality);
                 b.add_service(svc.name.clone(), svc.demand, tag, svc.replicas);
             }
             if let Some(g) = app.dependency() {
@@ -194,10 +192,7 @@ mod tests {
         let p = nightly_provider();
         let svc = ServiceId::new(1);
         let app = AppId::new(0);
-        assert_eq!(
-            p.criticality(&app_ctx(23), app, svc),
-            Some(Criticality::C2)
-        );
+        assert_eq!(p.criticality(&app_ctx(23), app, svc), Some(Criticality::C2));
         assert_eq!(p.criticality(&app_ctx(2), app, svc), Some(Criticality::C2));
         assert_eq!(p.criticality(&app_ctx(12), app, svc), None);
         // Other services unaffected.

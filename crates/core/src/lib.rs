@@ -59,8 +59,8 @@ pub mod dynamic;
 pub mod objectives;
 pub mod persist;
 pub mod planner;
-pub mod profiling;
 pub mod policies;
+pub mod profiling;
 pub mod ranking;
 pub mod spec;
 pub mod stateful;

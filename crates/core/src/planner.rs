@@ -146,10 +146,7 @@ fn append_unreached(
     visited: &[bool],
     order: &mut Vec<ServiceId>,
 ) {
-    let mut rest: Vec<NodeId> = graph
-        .node_ids()
-        .filter(|n| !visited[n.index()])
-        .collect();
+    let mut rest: Vec<NodeId> = graph.node_ids().filter(|n| !visited[n.index()]).collect();
     if rest.is_empty() {
         return;
     }

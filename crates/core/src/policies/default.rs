@@ -99,12 +99,22 @@ mod tests {
         let w = workload();
         let mut state = ClusterState::homogeneous(2, Resources::cpu(4.0));
         state
-            .assign(phoenix_cluster::PodKey::new(0, 0, 0), Resources::cpu(3.0), NodeId::new(0))
+            .assign(
+                phoenix_cluster::PodKey::new(0, 0, 0),
+                Resources::cpu(3.0),
+                NodeId::new(0),
+            )
             .unwrap();
         let plan = DefaultPolicy.plan(&w, &state);
-        assert_eq!(plan.target.node_of(phoenix_cluster::PodKey::new(0, 0, 0)), Some(NodeId::new(0)));
+        assert_eq!(
+            plan.target.node_of(phoenix_cluster::PodKey::new(0, 0, 0)),
+            Some(NodeId::new(0))
+        );
         // The second pod lands on the emptier node (spreading).
-        assert_eq!(plan.target.node_of(phoenix_cluster::PodKey::new(0, 1, 0)), Some(NodeId::new(1)));
+        assert_eq!(
+            plan.target.node_of(phoenix_cluster::PodKey::new(0, 1, 0)),
+            Some(NodeId::new(1))
+        );
     }
 
     #[test]

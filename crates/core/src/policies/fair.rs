@@ -117,7 +117,11 @@ mod tests {
         let state = ClusterState::homogeneous(2, Resources::cpu(1.0));
         let plan = FairPolicy::default().plan(&w, &state);
         // Index order burns the share on the junk services.
-        let active: Vec<u32> = plan.target.assignments().map(|(p, _, _)| p.service).collect();
+        let active: Vec<u32> = plan
+            .target
+            .assignments()
+            .map(|(p, _, _)| p.service)
+            .collect();
         assert!(active.contains(&0));
         assert!(!active.contains(&2), "criticality-blind: vital not chosen");
     }
@@ -134,7 +138,12 @@ mod tests {
         let w = Workload::new(vec![mk("x"), mk("y")]);
         let state = ClusterState::homogeneous(4, Resources::cpu(1.0));
         let plan = FairPolicy::default().plan(&w, &state);
-        let per_app = |a: u32| plan.target.assignments().filter(|(p, _, _)| p.app == a).count();
+        let per_app = |a: u32| {
+            plan.target
+                .assignments()
+                .filter(|(p, _, _)| p.app == a)
+                .count()
+        };
         assert_eq!(per_app(0), 2);
         assert_eq!(per_app(1), 2);
     }

@@ -216,11 +216,7 @@ fn add_criticality_chain(model: &mut Model, app: &AppSpec, xs: &[VarId]) {
         let z = model.add_var(format!("z{level}"), VarKind::Continuous, 0.0, 1.0);
         for &m in &members {
             // z <= x_m
-            model.add_constraint(
-                LinExpr::from_terms([(z, 1.0), (xs[m], -1.0)]),
-                Cmp::Le,
-                0.0,
-            );
+            model.add_constraint(LinExpr::from_terms([(z, 1.0), (xs[m], -1.0)]), Cmp::Le, 0.0);
             if let Some(pz) = prev_z {
                 // x_m <= z_{previous (more critical) level}
                 model.add_constraint(
@@ -247,7 +243,12 @@ impl ResiliencePolicy for LpPolicy {
         let t0 = Instant::now();
         let pods: usize = workload
             .apps()
-            .map(|(_, a)| a.services().iter().map(|s| s.replicas as usize).sum::<usize>())
+            .map(|(_, a)| {
+                a.services()
+                    .iter()
+                    .map(|s| s.replicas as usize)
+                    .sum::<usize>()
+            })
             .sum();
         let var_estimate = match self.placement {
             LpPlacement::FullPlacement => pods * state.healthy_nodes().len() + pods,
@@ -269,7 +270,9 @@ impl ResiliencePolicy for LpPolicy {
             LpPlacement::AggregateCapacity => 3 * services + 1,
         } + workload.app_count() * 2;
         let cols_estimate = var_estimate + rows_estimate;
-        let bytes = rows_estimate.saturating_mul(cols_estimate).saturating_mul(8);
+        let bytes = rows_estimate
+            .saturating_mul(cols_estimate)
+            .saturating_mul(8);
         if bytes > self.max_tableau_bytes {
             return PolicyPlan {
                 target: state.clone(),
@@ -330,8 +333,7 @@ impl ResiliencePolicy for LpPolicy {
                     let mut ge_f = alloc.clone();
                     ge_f.add_term(f, -1.0);
                     ilp.model.add_constraint(ge_f, Cmp::Ge, 0.0);
-                    ilp.model
-                        .add_constraint(alloc, Cmp::Le, shares[ai.index()]);
+                    ilp.model.add_constraint(alloc, Cmp::Le, shares[ai.index()]);
                 }
                 ilp.model.set_objective_expr(LinExpr::term(f, 1.0));
                 match ilp.model.solve(&opts) {
@@ -350,7 +352,9 @@ impl ResiliencePolicy for LpPolicy {
                             }
                         }
                         ilp.model.set_objective_expr(obj);
-                        ilp.model.solve(&opts).or(Ok::<_, phoenix_lp::LpError>(stage1))
+                        ilp.model
+                            .solve(&opts)
+                            .or(Ok::<_, phoenix_lp::LpError>(stage1))
                     }
                     Err(e) => Err(e),
                 }
@@ -407,8 +411,7 @@ impl ResiliencePolicy for LpPolicy {
                             }
                         }
                         chosen.sort_by_key(|&(level, app, p)| (level, app, p.key));
-                        let plan: Vec<PlannedPod> =
-                            chosen.into_iter().map(|(_, _, p)| p).collect();
+                        let plan: Vec<PlannedPod> = chosen.into_iter().map(|(_, _, p)| p).collect();
                         let mut target = state.clone();
                         pack(&mut target, &plan, &PackingConfig::default());
                         target
@@ -454,7 +457,11 @@ mod tests {
         let w = Workload::new(vec![app("cheap", &[1, 2], 1.0), app("rich", &[1, 2], 10.0)]);
         let state = ClusterState::homogeneous(2, Resources::cpu(1.0));
         let plan = LpPolicy::cost().plan(&w, &state);
-        let rich = plan.target.assignments().filter(|(p, _, _)| p.app == 1).count();
+        let rich = plan
+            .target
+            .assignments()
+            .filter(|(p, _, _)| p.app == 1)
+            .count();
         assert_eq!(rich, 2, "notes: {}", plan.notes);
         assert_eq!(plan.target.pod_count(), 2);
     }
@@ -494,7 +501,12 @@ mod tests {
         ]);
         let state = ClusterState::homogeneous(4, Resources::cpu(1.0));
         let plan = LpPolicy::fair().plan(&w, &state);
-        let per = |a: u32| plan.target.assignments().filter(|(p, _, _)| p.app == a).count();
+        let per = |a: u32| {
+            plan.target
+                .assignments()
+                .filter(|(p, _, _)| p.app == a)
+                .count()
+        };
         assert_eq!((per(0), per(1)), (2, 2), "notes: {}", plan.notes);
     }
 

@@ -77,7 +77,12 @@ mod tests {
         // App0: five C1 services; app1: one C1 + one C2.
         let mut b0 = AppSpecBuilder::new("greedy");
         for i in 0..5 {
-            b0.add_service(format!("s{i}"), Resources::cpu(1.0), Some(Criticality::C1), 1);
+            b0.add_service(
+                format!("s{i}"),
+                Resources::cpu(1.0),
+                Some(Criticality::C1),
+                1,
+            );
         }
         let mut b1 = AppSpecBuilder::new("modest");
         b1.add_service("fe", Resources::cpu(1.0), Some(Criticality::C1), 1);

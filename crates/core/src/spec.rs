@@ -117,7 +117,10 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::EmptyApp(a) => write!(f, "app {a} has no services"),
             SpecError::UnknownService { app, index } => {
-                write!(f, "app {app}: dependency references unknown service {index}")
+                write!(
+                    f,
+                    "app {app}: dependency references unknown service {index}"
+                )
             }
             SpecError::SelfDependency { app, index } => {
                 write!(f, "app {app}: service {index} cannot depend on itself")
@@ -472,8 +475,14 @@ mod tests {
     #[test]
     fn demand_at_criticality_filters() {
         let app = two_service_app();
-        assert_eq!(app.demand_at_criticality(Criticality::C1), Resources::cpu(2.0));
-        assert_eq!(app.demand_at_criticality(Criticality::C5), Resources::cpu(4.0));
+        assert_eq!(
+            app.demand_at_criticality(Criticality::C1),
+            Resources::cpu(2.0)
+        );
+        assert_eq!(
+            app.demand_at_criticality(Criticality::C5),
+            Resources::cpu(4.0)
+        );
     }
 
     #[test]

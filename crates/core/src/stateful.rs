@@ -91,7 +91,8 @@ impl StatefulMarks {
 
     /// Marks one service as stateful.
     pub fn mark(&mut self, app: AppId, service: ServiceId) -> &mut StatefulMarks {
-        self.set.insert((app.index() as u32, service.index() as u32));
+        self.set
+            .insert((app.index() as u32, service.index() as u32));
         self
     }
 
@@ -217,8 +218,18 @@ pub fn partition(workload: &Workload, marks: &StatefulMarks) -> Partition {
             .map(|s| !marks.is_stateful(app, s))
             .collect();
         for (target_is_stateless, apps, to_map, from_map) in [
-            (true, &mut stateless_apps, &mut to_stateless, &mut from_stateless),
-            (false, &mut stateful_apps, &mut to_stateful, &mut from_stateful),
+            (
+                true,
+                &mut stateless_apps,
+                &mut to_stateless,
+                &mut from_stateless,
+            ),
+            (
+                false,
+                &mut stateful_apps,
+                &mut to_stateful,
+                &mut from_stateful,
+            ),
         ] {
             let kept: Vec<usize> = (0..spec.service_count())
                 .filter(|&i| keep_stateless[i] == target_is_stateless)
@@ -598,11 +609,7 @@ impl crate::policies::ResiliencePolicy for StatefulAwarePolicy {
         "PhoenixPinned"
     }
 
-    fn plan(
-        &self,
-        workload: &Workload,
-        state: &ClusterState,
-    ) -> crate::policies::PolicyPlan {
+    fn plan(&self, workload: &Workload, state: &ClusterState) -> crate::policies::PolicyPlan {
         let t0 = std::time::Instant::now();
         let plan = plan_pinned(workload, &self.marks, state, &self.config);
         let planning_time = t0.elapsed();
@@ -664,7 +671,10 @@ mod tests {
         assert_eq!(part.stateless.app(AppId::new(0)).name(), "shop");
         assert_eq!(part.stateful.app(AppId::new(0)).name(), "shop");
         assert_eq!(
-            part.stateful.app(AppId::new(0)).service(ServiceId::new(0)).name,
+            part.stateful
+                .app(AppId::new(0))
+                .service(ServiceId::new(0))
+                .name,
             "mongodb"
         );
     }
@@ -720,7 +730,11 @@ mod tests {
         assert_eq!(part.stateless.app(AppId::new(0)).service_count(), 4);
         assert_eq!(part.stateful.app_count(), 0);
         assert_eq!(
-            part.stateless.app(AppId::new(0)).dependency().unwrap().edge_count(),
+            part.stateless
+                .app(AppId::new(0))
+                .dependency()
+                .unwrap()
+                .edge_count(),
             3
         );
     }
@@ -734,7 +748,13 @@ mod tests {
         let part = partition(&w, &marks);
         assert_eq!(part.stateless.app_count(), 0);
         assert_eq!(part.stateful.app_count(), 1);
-        assert_eq!(part.stateful.app(AppId::new(0)).service(ServiceId::new(0)).replicas, 3);
+        assert_eq!(
+            part.stateful
+                .app(AppId::new(0))
+                .service(ServiceId::new(0))
+                .replicas,
+            3
+        );
     }
 
     #[test]

@@ -357,7 +357,10 @@ mod tests {
             .service_ids()
             .map(|s| d.spec.criticality_of(s))
             .collect();
-        assert_eq!(tags, vec![Criticality::C1, Criticality::C3, Criticality::C5]);
+        assert_eq!(
+            tags,
+            vec![Criticality::C1, Criticality::C3, Criticality::C5]
+        );
         // C1 container: Checkout + Cart + overhead = 3.25.
         assert_eq!(
             d.spec.service(ServiceId::new(0)).demand,

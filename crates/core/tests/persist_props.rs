@@ -11,7 +11,12 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     let app = (
         "[a-z]{1,12}",
         proptest::collection::vec(
-            (0.1f64..32.0, 0.0f64..64.0, proptest::option::of(1u8..10), 1u16..4),
+            (
+                0.1f64..32.0,
+                0.0f64..64.0,
+                proptest::option::of(1u8..10),
+                1u16..4,
+            ),
             1..15,
         ),
         proptest::collection::vec((0usize..15, 0usize..15), 0..20),

@@ -6,9 +6,7 @@
 use phoenix_cluster::Resources;
 use phoenix_core::spec::ServiceId;
 use phoenix_core::tags::Criticality;
-use phoenix_core::weaver::{
-    deploy, sheddable_fraction, Colocation, ComponentGraph, ComponentId,
-};
+use phoenix_core::weaver::{deploy, sheddable_fraction, Colocation, ComponentGraph, ComponentId};
 use proptest::prelude::*;
 
 const POLICIES: [Colocation; 3] = [

@@ -200,10 +200,7 @@ pub fn single_upstream_fraction<N>(g: &DiGraph<N>) -> f64 {
     if non_sources.is_empty() {
         return 0.0;
     }
-    let singles = non_sources
-        .iter()
-        .filter(|&&n| g.in_degree(n) == 1)
-        .count();
+    let singles = non_sources.iter().filter(|&&n| g.in_degree(n) == 1).count();
     singles as f64 / non_sources.len() as f64
 }
 

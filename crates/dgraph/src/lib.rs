@@ -34,8 +34,8 @@
 #![warn(missing_docs)]
 
 mod error;
-mod graph;
 pub mod generate;
+mod graph;
 pub mod topo;
 pub mod traversal;
 

@@ -248,8 +248,8 @@ mod tests {
 
     #[test]
     fn condensation_is_dag() {
-        let g = DiGraph::from_parts(0..5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)])
-            .unwrap();
+        let g =
+            DiGraph::from_parts(0..5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]).unwrap();
         let (cond, comp_of) = condensation(&g);
         assert_eq!(cond.node_count(), 3);
         assert!(is_dag(&cond));

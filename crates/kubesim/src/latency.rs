@@ -123,7 +123,9 @@ mod tests {
             min_secs: 5.0,
             max_secs: 60.0,
         };
-        let samples: Vec<f64> = (0..2000).map(|_| l.sample(&mut rng).as_secs_f64()).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| l.sample(&mut rng).as_secs_f64())
+            .collect();
         assert!(samples.iter().all(|&s| (5.0..=60.0).contains(&s)));
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -206,8 +206,14 @@ mod tests {
     fn policy_tiers_resolve_tightest_cover() {
         let p = RtoPolicy::paper_example();
         assert_eq!(p.target_for(Criticality::C1), Some(SimTime::from_secs(240)));
-        assert_eq!(p.target_for(Criticality::C2), Some(SimTime::from_secs(1200)));
-        assert_eq!(p.target_for(Criticality::C3), Some(SimTime::from_secs(1200)));
+        assert_eq!(
+            p.target_for(Criticality::C2),
+            Some(SimTime::from_secs(1200))
+        );
+        assert_eq!(
+            p.target_for(Criticality::C3),
+            Some(SimTime::from_secs(1200))
+        );
         assert_eq!(p.target_for(Criticality::new(6)), None);
     }
 
@@ -220,11 +226,7 @@ mod tests {
 
         let phx = simulate(&w, &PhoenixPolicy::fair(), &scenario(), &cfg, horizon);
         let report = evaluate_rto(&phx, &w, &policy, SimTime::from_secs(300));
-        assert!(
-            report.satisfied(),
-            "violations: {:?}",
-            report.violations()
-        );
+        assert!(report.satisfied(), "violations: {:?}", report.violations());
         // The C1 outage was real but short.
         let c1 = report
             .outages

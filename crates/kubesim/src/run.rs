@@ -270,8 +270,8 @@ pub fn simulate(
                         // Phase B: migrations and starts are *issued* only
                         // after the deletions have freed their capacity in
                         // the live state (their events fire later).
-                        let mut cursor = last_delete_done
-                            + config.latency.issue_overhead.sample(&mut rng);
+                        let mut cursor =
+                            last_delete_done + config.latency.issue_overhead.sample(&mut rng);
                         for a in &actions.actions {
                             match *a {
                                 Action::Migrate { pod, to, .. } => {
@@ -287,11 +287,14 @@ pub fn simulate(
                                 }
                                 Action::Start { pod, node } => {
                                     cursor += config.latency.issue_overhead.sample(&mut rng);
-                                    let ready_at =
-                                        cursor + config.latency.start.sample(&mut rng);
+                                    let ready_at = cursor + config.latency.start.sample(&mut rng);
                                     queue.schedule(
                                         cursor,
-                                        Event::StartIssued { pod, node, ready_at },
+                                        Event::StartIssued {
+                                            pod,
+                                            node,
+                                            ready_at,
+                                        },
                                     );
                                     actions_in_flight += 1;
                                 }
@@ -323,7 +326,11 @@ pub fn simulate(
                     failure_pending_recovery = false;
                 }
             }
-            Event::StartIssued { pod, node, ready_at } => {
+            Event::StartIssued {
+                pod,
+                node,
+                ready_at,
+            } => {
                 let demand = workload
                     .service_of_pod(pod)
                     .expect("planned pod belongs to workload")
@@ -384,8 +391,7 @@ pub fn simulate(
                 let mut serving: Vec<PodKey> = state
                     .assignments()
                     .filter(|&(pod, node, _)| {
-                        kubelet_alive[node.index()]
-                            && phase.get(&pod) == Some(&Phase::Running)
+                        kubelet_alive[node.index()] && phase.get(&pod) == Some(&Phase::Running)
                     })
                     .map(|(pod, _, _)| pod)
                     .collect();
@@ -455,7 +461,9 @@ mod tests {
             SimTime::from_secs(600),
         );
         let detected = trace.first("detected").expect("failure detected");
-        let delay = detected.saturating_sub(SimTime::from_secs(300)).as_secs_f64();
+        let delay = detected
+            .saturating_sub(SimTime::from_secs(300))
+            .as_secs_f64();
         assert!(
             (90.0..=110.0).contains(&delay),
             "detection delay {delay}s outside the ≈100 s band"
@@ -478,7 +486,10 @@ mod tests {
             SimTime::from_secs(1400),
         );
         let recovered = trace.first("recovered").expect("recovery completes");
-        assert!(recovered < SimTime::from_secs(900), "recovered at {recovered}");
+        assert!(
+            recovered < SimTime::from_secs(900),
+            "recovered at {recovered}"
+        );
         // Critical service is up between recovery and node return…
         assert!(trace.service_up(&w, 0, 0, SimTime::from_secs(880)));
         // …and full recovery is < 4 min after the failure (paper claim).
@@ -519,8 +530,20 @@ mod tests {
         let w = workload();
         let s = failure_scenario();
         let cfg = SimConfig::default();
-        let a = simulate(&w, &PhoenixPolicy::fair(), &s, &cfg, SimTime::from_secs(1200));
-        let b = simulate(&w, &PhoenixPolicy::fair(), &s, &cfg, SimTime::from_secs(1200));
+        let a = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &cfg,
+            SimTime::from_secs(1200),
+        );
+        let b = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &cfg,
+            SimTime::from_secs(1200),
+        );
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.milestones, b.milestones);
     }

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use crate::expr::VarId;
-use crate::model::{LimitKind, LpError, Model, Sense, SolveOptions, Solution, Status};
+use crate::model::{LimitKind, LpError, Model, Sense, Solution, SolveOptions, Status};
 use crate::simplex::{solve_relaxation, Relaxed};
 
 struct Node {
@@ -108,9 +108,9 @@ pub(crate) fn solve_milp(
             // deep instances can exhaust the budget before any feasible
             // point appears.
             if opts.dive_heuristic {
-                if let Some((obj_d, vals_d, it_d)) =
-                    dive(model, &base_lb, &base_ub, &obj, binaries, &values, opts, deadline)
-                {
+                if let Some((obj_d, vals_d, it_d)) = dive(
+                    model, &base_lb, &base_ub, &obj, binaries, &values, opts, deadline,
+                ) {
                     iterations += it_d;
                     if incumbent.as_ref().is_none_or(|(o, _)| obj_d > *o) {
                         incumbent = Some((obj_d, vals_d));
@@ -223,8 +223,11 @@ fn dive(
         }
         let Some((j, _)) = pick else {
             // Integral: verify and return.
-            return is_integral(&values, binaries, opts.int_tol)
-                .then_some((objective_or(model, obj, &values, objective), values, iterations));
+            return is_integral(&values, binaries, opts.int_tol).then_some((
+                objective_or(model, obj, &values, objective),
+                values,
+                iterations,
+            ));
         };
         let rounded = values[j].round().clamp(0.0, 1.0);
         let mut solved = false;
@@ -259,12 +262,7 @@ fn dive(
 
 /// The dive tracks the objective of the last solved LP; fall back to a
 /// direct evaluation when it never re-solved (already-integral roots).
-fn objective_or(
-    _model: &Model,
-    obj: &crate::expr::LinExpr,
-    values: &[f64],
-    tracked: f64,
-) -> f64 {
+fn objective_or(_model: &Model, obj: &crate::expr::LinExpr, values: &[f64], tracked: f64) -> f64 {
     if tracked.is_nan() {
         obj.eval(values)
     } else {

@@ -38,7 +38,10 @@ impl CoverageInstance {
         assert_eq!(sets.len(), weights.len(), "sets/weights length mismatch");
         for s in &sets {
             for &i in s {
-                assert!(i < num_items, "item {i} out of range (num_items={num_items})");
+                assert!(
+                    i < num_items,
+                    "item {i} out of range (num_items={num_items})"
+                );
             }
         }
         assert!(
@@ -218,11 +221,7 @@ pub fn lp_max_coverage(
         let at = m.add_var(format!("a{t}"), VarKind::Continuous, 0.0, 1.0);
         for &i in set {
             // a_t - z_i <= 0
-            m.add_constraint(
-                LinExpr::from_terms([(at, 1.0), (z[i], -1.0)]),
-                Cmp::Le,
-                0.0,
-            );
+            m.add_constraint(LinExpr::from_terms([(at, 1.0), (z[i], -1.0)]), Cmp::Le, 0.0);
         }
         obj.add_term(at, inst.weights[t]);
         a.push(at);
@@ -250,7 +249,14 @@ pub fn coverage_curve(inst: &CoverageInstance, budgets: &[usize]) -> Vec<(usize,
         .iter()
         .map(|&b| {
             let r = greedy_max_coverage(inst, b);
-            (b, if total > 0.0 { r.covered_weight / total } else { 0.0 })
+            (
+                b,
+                if total > 0.0 {
+                    r.covered_weight / total
+                } else {
+                    0.0
+                },
+            )
         })
         .collect()
 }
@@ -271,8 +277,14 @@ mod tests {
     #[test]
     fn covered_weight_all_or_nothing() {
         let inst = small();
-        assert_eq!(inst.covered_weight(&[true, false, false, false, false]), 10.0);
-        assert_eq!(inst.covered_weight(&[true, true, false, false, false]), 16.0);
+        assert_eq!(
+            inst.covered_weight(&[true, false, false, false, false]),
+            10.0
+        );
+        assert_eq!(
+            inst.covered_weight(&[true, true, false, false, false]),
+            16.0
+        );
         // Partial template {2,3,4} serves nothing.
         assert_eq!(inst.covered_weight(&[false, false, true, true, false]), 0.0);
         assert_eq!(inst.covered_weight(&[true; 5]), 27.0);

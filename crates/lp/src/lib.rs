@@ -48,5 +48,5 @@ mod branch_bound;
 
 pub use expr::{LinExpr, VarId};
 pub use model::{
-    Cmp, Constraint, LimitKind, LpError, Model, Sense, SolveOptions, Solution, Status, VarKind,
+    Cmp, Constraint, LimitKind, LpError, Model, Sense, Solution, SolveOptions, Status, VarKind,
 };

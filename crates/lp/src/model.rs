@@ -245,7 +245,10 @@ impl Model {
     /// Panics if `lb > ub`, if `lb` is not finite, or if a bound is NaN —
     /// these are programming errors in model construction.
     pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lb: f64, ub: f64) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb.is_finite(), "lower bounds must be finite (got {lb})");
         let (lb, ub) = match kind {
             VarKind::Binary => (lb.max(0.0), ub.min(1.0)),
@@ -275,7 +278,10 @@ impl Model {
     /// contains non-finite coefficients.
     pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
         let mut expr = expr.into();
-        assert!(!expr.has_non_finite(), "constraint has non-finite coefficients");
+        assert!(
+            !expr.has_non_finite(),
+            "constraint has non-finite coefficients"
+        );
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         expr.normalize();
         for &(v, _) in expr.terms() {
@@ -319,7 +325,10 @@ impl Model {
     /// Panics on unknown variables or non-finite coefficients.
     pub fn set_objective_expr(&mut self, expr: impl Into<LinExpr>) {
         let mut expr = expr.into();
-        assert!(!expr.has_non_finite(), "objective has non-finite coefficients");
+        assert!(
+            !expr.has_non_finite(),
+            "objective has non-finite coefficients"
+        );
         expr.normalize();
         for &(v, _) in expr.terms() {
             assert!(

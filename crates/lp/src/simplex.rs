@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use crate::expr::LinExpr;
-use crate::model::{Cmp, LimitKind, LpError, Model, Sense, SolveOptions, Solution, Status};
+use crate::model::{Cmp, LimitKind, LpError, Model, Sense, Solution, SolveOptions, Status};
 
 const EPS_COST: f64 = 1e-9;
 const EPS_PIVOT: f64 = 1e-9;
@@ -153,10 +153,8 @@ pub(crate) fn solve_relaxation(
         // `shift` is only used as a cross-check in debug builds.
         debug_assert!(
             {
-                let direct: f64 = (0..t.n_struct)
-                    .map(|j| c2[j] * t.col_value(j))
-                    .sum::<f64>()
-                    + shift;
+                let direct: f64 =
+                    (0..t.n_struct).map(|j| c2[j] * t.col_value(j)).sum::<f64>() + shift;
                 (direct - objective).abs() <= 1e-4 * (1.0 + objective.abs())
             },
             "objective extraction mismatch"
@@ -229,11 +227,7 @@ impl Tableau {
                 .iter()
                 .map(|&(v, k)| (v.index(), k))
                 .collect();
-            let mut rhs = c.rhs
-                - terms
-                    .iter()
-                    .map(|&(j, k)| k * lb[j])
-                    .sum::<f64>();
+            let mut rhs = c.rhs - terms.iter().map(|&(j, k)| k * lb[j]).sum::<f64>();
             let mut cmp = c.cmp;
             if rhs < 0.0 {
                 rhs = -rhs;
@@ -483,7 +477,11 @@ impl Tableau {
             // column while scanning for an entering candidate.
             let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
             let cb_rows: Vec<usize> = (0..self.m).filter(|&i| cb[i] != 0.0).collect();
-            let enter_limit = if phase1 { self.n } else { self.first_artificial };
+            let enter_limit = if phase1 {
+                self.n
+            } else {
+                self.first_artificial
+            };
             let mut entering: Option<(usize, f64, bool)> = None; // (col, score, from_lower)
             #[allow(clippy::needless_range_loop)] // j indexes stat/ubs/c and at(i, j) alike
             for j in 0..enter_limit {
@@ -499,7 +497,11 @@ impl Tableau {
                 for &i in &cb_rows {
                     d -= cb[i] * self.at(i, j);
                 }
-                let improving = if from_lower { d > EPS_COST } else { d < -EPS_COST };
+                let improving = if from_lower {
+                    d > EPS_COST
+                } else {
+                    d < -EPS_COST
+                };
                 if improving {
                     let score = d.abs();
                     if bland {
@@ -525,8 +527,7 @@ impl Tableau {
                 if e > EPS_PIVOT {
                     let t = (self.xb[i] / e).max(0.0);
                     if t < t_best - 1e-12
-                        || (t < t_best + 1e-12
-                            && better_leaving(self, leave, i, j, bland))
+                        || (t < t_best + 1e-12 && better_leaving(self, leave, i, j, bland))
                     {
                         t_best = t;
                         leave = Some((i, false));
@@ -536,8 +537,7 @@ impl Tableau {
                     if ub_b.is_finite() {
                         let t = ((ub_b - self.xb[i]) / -e).max(0.0);
                         if t < t_best - 1e-12
-                            || (t < t_best + 1e-12
-                                && better_leaving(self, leave, i, j, bland))
+                            || (t < t_best + 1e-12 && better_leaving(self, leave, i, j, bland))
                         {
                             t_best = t;
                             leave = Some((i, true));
@@ -557,7 +557,11 @@ impl Tableau {
                     let e = dir * self.at(i, j);
                     self.xb[i] -= e * t;
                 }
-                self.stat[j] = if from_lower { VStat::Upper } else { VStat::Lower };
+                self.stat[j] = if from_lower {
+                    VStat::Upper
+                } else {
+                    VStat::Lower
+                };
                 degenerate_streak = 0;
                 continue;
             }

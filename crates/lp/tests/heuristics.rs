@@ -51,7 +51,10 @@ fn dive_finds_incumbent_under_tight_time_limit() {
     });
     // With the dive we must get *some* feasible answer, optimal or not.
     let sol = with_dive.expect("dive yields an incumbent");
-    assert!(matches!(sol.status, Status::Optimal | Status::FeasibleLimit(_)));
+    assert!(matches!(
+        sol.status,
+        Status::Optimal | Status::FeasibleLimit(_)
+    ));
     assert!(sol.objective >= 0.0);
 }
 

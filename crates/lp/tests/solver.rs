@@ -181,9 +181,14 @@ fn time_limit_surfaces_as_status_or_error() {
     let mut m = Model::new(Sense::Maximize);
     let n = 24;
     let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
-    let w: Vec<f64> = (0..n).map(|i| ((i * 7919 + 13) % 97) as f64 + 1.0).collect();
+    let w: Vec<f64> = (0..n)
+        .map(|i| ((i * 7919 + 13) % 97) as f64 + 1.0)
+        .collect();
     let half: f64 = w.iter().sum::<f64>() / 2.0;
-    m.add_eq(vars.iter().zip(&w).map(|(&v, &c)| (v, c)), half.floor() + 0.5);
+    m.add_eq(
+        vars.iter().zip(&w).map(|(&v, &c)| (v, c)),
+        half.floor() + 0.5,
+    );
     m.set_objective(vars.iter().map(|&v| (v, 1.0)));
     let o = SolveOptions {
         time_limit: Some(Duration::from_millis(50)),
@@ -192,7 +197,10 @@ fn time_limit_surfaces_as_status_or_error() {
     // Either proven infeasible quickly, or the limit fires; both are fine —
     // what must not happen is a hang or a bogus "optimal feasible" claim.
     match m.solve(&o) {
-        Ok(sol) => assert!(matches!(sol.status, Status::FeasibleLimit(_) | Status::Optimal)),
+        Ok(sol) => assert!(matches!(
+            sol.status,
+            Status::FeasibleLimit(_) | Status::Optimal
+        )),
         Err(LpError::Infeasible | LpError::LimitReached(_)) => {}
         Err(e) => panic!("unexpected error: {e}"),
     }

@@ -20,7 +20,12 @@ fn tenant(name: &str) -> Result<phoenix::core::spec::AppSpec, SpecError> {
     b.add_service("frontend", Resources::cpu(2.0), Some(Criticality::C1), 1);
     b.add_service("api", Resources::cpu(2.0), Some(Criticality::C2), 1);
     b.add_service("batch", Resources::cpu(2.0), Some(Criticality::new(4)), 1);
-    b.add_service("analytics", Resources::cpu(2.0), Some(Criticality::new(6)), 1);
+    b.add_service(
+        "analytics",
+        Resources::cpu(2.0),
+        Some(Criticality::new(6)),
+        1,
+    );
     b.build()
 }
 
@@ -61,8 +66,14 @@ fn main() -> Result<(), SpecError> {
     };
     let fair_cfg = PhoenixConfig::with_objective(ObjectiveKind::Fairness);
 
-    println!("\n{:<22} {:>12} {:>12} {:>14}", "objective", "liar gain", "victim loss", "worst victim");
-    for (label, cfg) in [("priority (no quotas)", priority_cfg), ("phoenix fairness", fair_cfg)] {
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>14}",
+        "objective", "liar gain", "victim loss", "worst victim"
+    );
+    for (label, cfg) in [
+        ("priority (no quotas)", priority_cfg),
+        ("phoenix fairness", fair_cfg),
+    ] {
         let br = blast_radius(&workload, inflator, &cluster, &cfg);
         let worst = br
             .worst_victim()

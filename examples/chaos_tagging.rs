@@ -33,7 +33,11 @@ fn print_report(report: &phoenix::chaos::ChaosReport) {
         println!(
             "    degree {:>4.0}%: critical {}  harvest {:.2}  ({} services off)",
             d.degree * 100.0,
-            if d.critical_retained { "retained" } else { "LOST" },
+            if d.critical_retained {
+                "retained"
+            } else {
+                "LOST"
+            },
             d.utility_score,
             d.killed.len(),
         );

@@ -34,8 +34,12 @@ fn main() {
         ..SweepConfig::default()
     };
     let roster = standard_roster();
-    println!("running {} schemes × {} failure levels × {} trials…",
-        roster.len(), sweep.failure_fracs.len(), sweep.trials);
+    println!(
+        "running {} schemes × {} failure levels × {} trials…",
+        roster.len(),
+        sweep.failure_fracs.len(),
+        sweep.trials
+    );
     let points = failure_sweep(&env, &sweep, &roster);
 
     println!(

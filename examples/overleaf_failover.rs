@@ -39,16 +39,19 @@ fn main() {
     // How did Overleaf0 fare?
     let overleaf0 = &models[0];
     for t in [250u64, 450, 800, 1100, 1500] {
-        let up = |s: ServiceId| {
-            trace.service_up(&workload, 0, s.index() as u32, SimTime::from_secs(t))
-        };
+        let up =
+            |s: ServiceId| trace.service_up(&workload, 0, s.index() as u32, SimTime::from_secs(t));
         let outcomes = overleaf0.outcomes(up);
         let edits = &outcomes[0];
         let chat = &outcomes[4];
         println!(
             "t={t:>4}s  edits {:>5.1} rps (goal {})  chat {:>4.1} rps",
             edits.served_rps,
-            if overleaf0.critical_goal_met(up) { "MET" } else { "missed" },
+            if overleaf0.critical_goal_met(up) {
+                "MET"
+            } else {
+                "missed"
+            },
             chat.served_rps,
         );
     }

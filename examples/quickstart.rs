@@ -18,7 +18,12 @@ fn main() -> Result<(), SpecError> {
     let gateway = b.add_service("gateway", Resources::cpu(2.0), Some(Criticality::C1), 1);
     let checkout = b.add_service("checkout", Resources::cpu(2.0), Some(Criticality::C1), 1);
     let catalog = b.add_service("catalog", Resources::cpu(2.0), Some(Criticality::C2), 1);
-    let recs = b.add_service("recommend", Resources::cpu(2.0), Some(Criticality::new(5)), 1);
+    let recs = b.add_service(
+        "recommend",
+        Resources::cpu(2.0),
+        Some(Criticality::new(5)),
+        1,
+    );
     b.add_dependency(gateway, checkout);
     b.add_dependency(gateway, catalog);
     b.add_dependency(gateway, recs);
@@ -39,7 +44,9 @@ fn main() -> Result<(), SpecError> {
 
     // Adopt the healthy placement as the live state.
     for (pod, node, demand) in healthy_plan.target.assignments() {
-        cluster.assign(pod, demand, node).expect("healthy plan fits");
+        cluster
+            .assign(pod, demand, node)
+            .expect("healthy plan fits");
     }
 
     // 3. Disaster: two nodes go dark. Phoenix replans within the surviving
@@ -55,11 +62,15 @@ fn main() -> Result<(), SpecError> {
         plan.target.pod_count()
     );
     for (pod, node, _) in plan.target.assignments() {
-        let app = controller.workload().app(phoenix::core::spec::AppId::new(pod.app));
+        let app = controller
+            .workload()
+            .app(phoenix::core::spec::AppId::new(pod.app));
         let svc = app.service(phoenix::core::spec::ServiceId::new(pod.service));
-        println!("  {} ({}) -> {node}", svc.name, app.criticality_of(
-            phoenix::core::spec::ServiceId::new(pod.service)
-        ));
+        println!(
+            "  {} ({}) -> {node}",
+            svc.name,
+            app.criticality_of(phoenix::core::spec::ServiceId::new(pod.service))
+        );
     }
     println!("\nagent actions: {:?}", plan.actions.counts());
     for a in &plan.actions.actions {

@@ -21,7 +21,12 @@ fn main() -> Result<(), SpecError> {
     let compile = b.add_service("compile", Resources::cpu(2.0), Some(Criticality::C2), 1);
     let chat = b.add_service("chat", Resources::cpu(1.0), Some(Criticality::new(5)), 1);
     let mongo = b.add_service("mongodb", Resources::cpu(3.0), Some(Criticality::C1), 1);
-    let redis = b.add_service("redis-sessions", Resources::cpu(1.0), Some(Criticality::C1), 1);
+    let redis = b.add_service(
+        "redis-sessions",
+        Resources::cpu(1.0),
+        Some(Criticality::C1),
+        1,
+    );
     b.add_dependency(web, compile);
     b.add_dependency(web, chat);
     b.add_dependency(web, mongo);
@@ -35,8 +40,12 @@ fn main() -> Result<(), SpecError> {
     let part = partition(&workload, &marks);
     println!(
         "partition: {} stateless / {} stateful services",
-        part.stateless.app(phoenix::core::spec::AppId::new(0)).service_count(),
-        part.stateful.app(phoenix::core::spec::AppId::new(0)).service_count(),
+        part.stateless
+            .app(phoenix::core::spec::AppId::new(0))
+            .service_count(),
+        part.stateful
+            .app(phoenix::core::spec::AppId::new(0))
+            .service_count(),
     );
 
     let mut stateful_cluster = ClusterState::homogeneous(2, Resources::cpu(4.0));

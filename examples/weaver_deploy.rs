@@ -49,7 +49,9 @@ fn main() -> Result<(), SpecError> {
             .target
             .assignments()
             .map(|(pod, _, _)| {
-                deployment.spec.services()[pod.service as usize].name.clone()
+                deployment.spec.services()[pod.service as usize]
+                    .name
+                    .clone()
             })
             .collect();
         println!(

@@ -1,0 +1,261 @@
+//! Vendored, API-compatible shim for the slice of `serde` this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on named-field structs with
+//! the `default`, `default = "path"`, and `skip_serializing_if = "path"`
+//! field attributes, consumed by the sibling `serde_json` shim.
+//!
+//! The build environment has no access to crates.io, so instead of the
+//! real zero-copy serde data model this shim routes everything through a
+//! concrete JSON [`Value`] tree: `Serialize::to_value` builds one,
+//! `Deserialize::from_value` reads one. That is exactly sufficient for the
+//! workspace's persistence layer (`phoenix_core::persist`) and sweep
+//! export (`phoenix_adaptlab::runner`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+// The derive macros share the trait names; Rust resolves them in separate
+// namespaces, mirroring how the real serde crate re-exports serde_derive.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree: the shim's entire data model.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so that
+/// serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number that is an exact integer (kept out of `f64` so
+    /// 64-bit ids/counters round-trip without precision loss).
+    Int(i128),
+    /// Any other JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in an object's entry list (first match wins).
+pub fn object_get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization (and general serde) error: a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl Error for DeError {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Builds the JSON value for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let exact = match value {
+                    Value::Int(i) => *i,
+                    // Accept integral floats (e.g. from `1e3` in hand-written
+                    // JSON) as long as they are exactly representable.
+                    Value::Number(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+                        *n as i128
+                    }
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(exact).map_err(|_| {
+                    DeError::custom(format!(
+                        "number {exact} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<(A, B), DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::custom(format!(
+                "expected 2-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}

@@ -145,7 +145,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         println!(
             "  degree {:>4.0}%: critical {} | harvest {:.2} | {} services off",
             d.degree * 100.0,
-            if d.critical_retained { "retained" } else { "LOST" },
+            if d.critical_retained {
+                "retained"
+            } else {
+                "LOST"
+            },
             d.utility_score,
             d.killed.len(),
         );
@@ -173,7 +177,9 @@ fn cmd_tag_audit(args: &[String]) -> Result<(), String> {
             app.c1_demand_share * 100.0,
             app.untagged_share * 100.0,
             app.distinct_levels,
-            if app.clean() { "clean".to_string() } else {
+            if app.clean() {
+                "clean".to_string()
+            } else {
                 app.findings
                     .iter()
                     .map(|f| f.to_string())

@@ -32,7 +32,10 @@ fn cfg() -> EnvConfig {
 #[test]
 fn baseline_env_is_fully_available() {
     let env = build_env(&cfg());
-    assert_eq!(critical_service_availability(&env.workload, &env.baseline), 1.0);
+    assert_eq!(
+        critical_service_availability(&env.workload, &env.baseline),
+        1.0
+    );
     let m = evaluate(
         &env.workload,
         &env.baseline,
@@ -67,8 +70,10 @@ fn sweep_is_deterministic() {
         trials: 2,
         ..SweepConfig::default()
     };
-    let roster: Vec<Box<dyn ResiliencePolicy>> =
-        vec![Box::new(PhoenixPolicy::fair()), Box::new(PhoenixPolicy::cost())];
+    let roster: Vec<Box<dyn ResiliencePolicy>> = vec![
+        Box::new(PhoenixPolicy::fair()),
+        Box::new(PhoenixPolicy::cost()),
+    ];
     let a = failure_sweep(&cfg(), &sweep, &roster);
     let b = failure_sweep(&cfg(), &sweep, &roster);
     assert_eq!(a.len(), b.len());
@@ -92,8 +97,14 @@ fn phoenix_dominates_default_across_the_sweep() {
     };
     let points = failure_sweep(&cfg(), &sweep, &standard_roster());
     for &frac in &sweep.failure_fracs {
-        let phx = point(&points, "PhoenixFair", frac).unwrap().metrics.availability;
-        let dfl = point(&points, "Default", frac).unwrap().metrics.availability;
+        let phx = point(&points, "PhoenixFair", frac)
+            .unwrap()
+            .metrics
+            .availability;
+        let dfl = point(&points, "Default", frac)
+            .unwrap()
+            .metrics
+            .availability;
         assert!(phx >= dfl, "frac {frac}: {phx} < {dfl}");
     }
 }

@@ -4,15 +4,17 @@
 use phoenix::adaptlab::metrics::service_active;
 use phoenix::apps::instances::{cloudlab_capacities, cloudlab_workload};
 use phoenix::cluster::ClusterState;
-use phoenix::core::policies::{
-    standard_roster, DefaultPolicy, PhoenixPolicy, ResiliencePolicy,
-};
+use phoenix::core::policies::{standard_roster, DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
 use phoenix::core::spec::ServiceId;
 use phoenix::kubesim::run::{simulate, SimConfig};
 use phoenix::kubesim::scenario::Scenario;
 use phoenix::kubesim::time::SimTime;
 
-fn breaking_point_state() -> (phoenix::core::spec::Workload, Vec<phoenix::apps::AppModel>, ClusterState) {
+fn breaking_point_state() -> (
+    phoenix::core::spec::Workload,
+    Vec<phoenix::apps::AppModel>,
+    ClusterState,
+) {
     let (workload, models) = cloudlab_workload();
     let mut state = ClusterState::new(cloudlab_capacities());
     let full = PhoenixPolicy::fair().plan(&workload, &state);
@@ -79,7 +81,11 @@ fn all_policies_produce_consistent_targets_on_cloudlab() {
         plan.target.check_invariants().unwrap();
         // No pod may sit on a failed node.
         for (pod, node, _) in plan.target.assignments() {
-            assert!(plan.target.is_healthy(node), "{}: {pod} on dead {node}", policy.name());
+            assert!(
+                plan.target.is_healthy(node),
+                "{}: {pod} on dead {node}",
+                policy.name()
+            );
         }
     }
 }
@@ -104,7 +110,10 @@ fn kubesim_recovery_within_paper_bounds() {
     let detection = t2.saturating_sub(t1).as_secs_f64();
     assert!((60.0..150.0).contains(&detection), "detection {detection}s");
     let recovery = t4.saturating_sub(t1).as_secs_f64();
-    assert!(recovery < 240.0, "recovery {recovery}s exceeds the 4-minute bound");
+    assert!(
+        recovery < 240.0,
+        "recovery {recovery}s exceeds the 4-minute bound"
+    );
 }
 
 #[test]

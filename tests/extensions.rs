@@ -59,7 +59,12 @@ fn replica_loss_breaks_availability() {
 fn untagged_services_survive_over_tagged() {
     let mut b = AppSpecBuilder::new("partial");
     b.add_service("untagged", Resources::cpu(2.0), None, 1);
-    b.add_service("tagged-low", Resources::cpu(2.0), Some(Criticality::new(6)), 1);
+    b.add_service(
+        "tagged-low",
+        Resources::cpu(2.0),
+        Some(Criticality::new(6)),
+        1,
+    );
     let w = Workload::new(vec![b.build().unwrap()]);
     let state = ClusterState::homogeneous(1, Resources::cpu(2.0));
     let plan = PhoenixPolicy::fair().plan(&w, &state);
@@ -73,7 +78,12 @@ fn untagged_services_survive_over_tagged() {
 #[test]
 fn unsubscribed_apps_never_diagonally_scaled_first() {
     let mut legacy = AppSpecBuilder::new("legacy");
-    legacy.add_service("black-box", Resources::cpu(2.0), Some(Criticality::new(9)), 1);
+    legacy.add_service(
+        "black-box",
+        Resources::cpu(2.0),
+        Some(Criticality::new(9)),
+        1,
+    );
     legacy.phoenix_enabled(false);
     let mut tagged = AppSpecBuilder::new("modern");
     tagged.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
@@ -83,9 +93,18 @@ fn unsubscribed_apps_never_diagonally_scaled_first() {
     // 4 CPUs: legacy (2, effectively C1) + modern fe (2) win; junk is shed.
     let state = ClusterState::homogeneous(2, Resources::cpu(2.0));
     let plan = PhoenixPolicy::fair().plan(&w, &state);
-    assert!(plan.target.node_of(PodKey::new(0, 0, 0)).is_some(), "legacy kept");
-    assert!(plan.target.node_of(PodKey::new(1, 0, 0)).is_some(), "fe kept");
-    assert!(plan.target.node_of(PodKey::new(1, 1, 0)).is_none(), "junk shed");
+    assert!(
+        plan.target.node_of(PodKey::new(0, 0, 0)).is_some(),
+        "legacy kept"
+    );
+    assert!(
+        plan.target.node_of(PodKey::new(1, 0, 0)).is_some(),
+        "fe kept"
+    );
+    assert!(
+        plan.target.node_of(PodKey::new(1, 1, 0)).is_none(),
+        "junk shed"
+    );
 }
 
 /// §5 fault tolerance: the controller keeps no mutable state, so a
@@ -107,7 +126,10 @@ fn controller_restart_is_stateless() {
     state.fail_node(NodeId::new(3));
 
     let fresh = || {
-        PhoenixController::new(w.clone(), PhoenixConfig::with_objective(ObjectiveKind::Cost))
+        PhoenixController::new(
+            w.clone(),
+            PhoenixConfig::with_objective(ObjectiveKind::Cost),
+        )
     };
     let a = fresh().plan(&state);
     let b2 = fresh().plan(&state);

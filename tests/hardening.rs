@@ -164,7 +164,11 @@ fn inferred_tags_plan_as_well_as_ground_truth() {
                 offered += t.weight;
                 let up = t.services.iter().all(|s| {
                     plan.target
-                        .node_of(phoenix::cluster::PodKey::new(ai as u32, s.index() as u32, 0))
+                        .node_of(phoenix::cluster::PodKey::new(
+                            ai as u32,
+                            s.index() as u32,
+                            0,
+                        ))
                         .is_some()
                 });
                 if up {

@@ -1,0 +1,62 @@
+//! Workspace smoke test: the facade quickstart path from `src/lib.rs`,
+//! kept as a plain integration test so the README/doc-test scenario is
+//! also exercised by `cargo test -q` even when doc-tests are skipped.
+
+use phoenix::cluster::{ClusterState, NodeId, Resources};
+use phoenix::core::controller::{PhoenixConfig, PhoenixController};
+use phoenix::core::objectives::ObjectiveKind;
+use phoenix::core::spec::{AppSpecBuilder, Workload};
+use phoenix::core::tags::Criticality;
+
+/// One app with a critical frontend and an optional chat service.
+fn quickstart_workload() -> Workload {
+    let mut b = AppSpecBuilder::new("docs");
+    let fe = b.add_service("frontend", Resources::cpu(2.0), Some(Criticality::C1), 1);
+    let chat = b.add_service("chat", Resources::cpu(2.0), Some(Criticality::new(5)), 1);
+    b.add_dependency(fe, chat);
+    Workload::new(vec![b.build().expect("valid spec")])
+}
+
+#[test]
+fn facade_quickstart_sheds_the_noncritical_service() {
+    let workload = quickstart_workload();
+
+    // A degraded cluster: only one 2-CPU node is healthy.
+    let mut state = ClusterState::homogeneous(2, Resources::cpu(2.0));
+    state.fail_node(NodeId::new(1));
+
+    // Phoenix sheds chat and keeps the frontend.
+    let controller = PhoenixController::new(
+        workload,
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+    );
+    let plan = controller.plan(&state);
+    assert_eq!(plan.target.pod_count(), 1);
+}
+
+#[test]
+fn healthy_cluster_places_everything() {
+    let workload = quickstart_workload();
+    let state = ClusterState::homogeneous(2, Resources::cpu(2.0));
+    let controller = PhoenixController::new(workload, PhoenixConfig::default());
+    let plan = controller.plan(&state);
+    assert_eq!(plan.target.pod_count(), 2);
+}
+
+#[test]
+fn objectives_are_selectable_and_deterministic() {
+    for objective in [ObjectiveKind::Fairness, ObjectiveKind::Cost] {
+        let mut state = ClusterState::homogeneous(2, Resources::cpu(2.0));
+        state.fail_node(NodeId::new(1));
+        let plan_twice = || {
+            PhoenixController::new(
+                quickstart_workload(),
+                PhoenixConfig::with_objective(objective),
+            )
+            .plan(&state)
+            .target
+            .pod_count()
+        };
+        assert_eq!(plan_twice(), plan_twice());
+    }
+}
