@@ -146,12 +146,7 @@ pub fn build_env(cfg: &EnvConfig) -> AdaptLabEnv {
             })
         })
         .collect();
-    plan.sort_by(|a, b| {
-        b.demand
-            .scalar()
-            .partial_cmp(&a.demand.scalar())
-            .expect("finite demands")
-    });
+    plan.sort_by(|a, b| b.demand.scalar().total_cmp(&a.demand.scalar()));
     let mut baseline = ClusterState::homogeneous(cfg.nodes, Resources::cpu(cfg.node_capacity));
     let outcome = pack(&mut baseline, &plan, &PackingConfig::default());
     assert!(

@@ -73,7 +73,7 @@ pub fn assign<R: Rng + ?Sized>(
     // population).
     let cpm = app.calls_per_minute();
     let mut rest: Vec<usize> = (0..n).filter(|&i| !c1[i]).collect();
-    rest.sort_by(|&a, &b| cpm[b].partial_cmp(&cpm[a]).expect("finite CPM"));
+    rest.sort_by(|&a, &b| cpm[b].total_cmp(&cpm[a]));
     let mut tags = vec![Criticality::C1; n];
     let per_bucket = (rest.len() as f64 / f64::from(LOW_BUCKETS)).ceil().max(1.0) as usize;
     for (pos, &svc) in rest.iter().enumerate() {
@@ -93,12 +93,7 @@ pub fn assign<R: Rng + ?Sized>(
 fn service_level_c1(app: &TraceApp, percentile: f64) -> Vec<bool> {
     let total = app.total_requests();
     let mut order: Vec<usize> = (0..app.templates.len()).collect();
-    order.sort_by(|&a, &b| {
-        app.templates[b]
-            .weight
-            .partial_cmp(&app.templates[a].weight)
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| app.templates[b].weight.total_cmp(&app.templates[a].weight));
     let mut c1 = vec![false; app.graph.node_count()];
     let mut covered = 0.0;
     for t in order {

@@ -262,8 +262,7 @@ fn admit(
                     model.requests[a].utility_full,
                     model.requests[b].utility_full,
                 );
-                ub.partial_cmp(&ua)
-                    .expect("utilities are finite")
+                ub.total_cmp(&ua)
                     .then_with(|| (b == model.critical_request).cmp(&(a == model.critical_request)))
                     .then(a.cmp(&b))
             });

@@ -105,7 +105,7 @@ proptest! {
         caps in proptest::collection::vec(1.0f64..400.0, 2..6),
     ) {
         let mut sorted = caps.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         for policy in POLICIES {
             let mut last = -1.0;
             for &c in &sorted {

@@ -1,0 +1,66 @@
+//! Criterion bench: cold `plan_with` vs. warm `Controller::replan` on a
+//! capacity-only delta (the monitor-tick hot path of an incident).
+//!
+//! Uses the shared [`replan_scenario`]: the cluster has converged on the
+//! controller's plan, then nodes fail between ticks. Two degraded states
+//! (one vs. two failed nodes) alternate between iterations, so every
+//! warm replan sees a *changed* capacity — whole-rank reuse never kicks
+//! in, and the round re-runs water-filling, the merge-order replay, and
+//! packing. Only the fingerprint-stable layers (per-app ranks, merge
+//! order, flattened plan) warm-start. Warm/cold action-plan equality is
+//! asserted inside the scenario builder before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_bench::replan_scenario::{converge_and_degrade, replan_env};
+use phoenix_core::controller::{plan_with, PhoenixConfig};
+use phoenix_core::objectives::ObjectiveKind;
+use phoenix_core::replan::ReplanDelta;
+
+fn bench_replan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replan");
+    group.sample_size(20);
+    for nodes in [200usize, 1000] {
+        let env = replan_env(nodes);
+        for kind in [ObjectiveKind::Cost, ObjectiveKind::Fairness] {
+            let (mut controller, failed_a, failed_b) = converge_and_degrade(&env, kind);
+            let cfg = PhoenixConfig::with_objective(kind);
+
+            // Cold baseline: the full pipeline from scratch each round.
+            let mut flip = false;
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold_{kind}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        flip = !flip;
+                        plan_with(
+                            &env.workload,
+                            if flip { &failed_a } else { &failed_b },
+                            &cfg,
+                        )
+                    })
+                },
+            );
+
+            // Warm: same controller across rounds, capacity-only deltas.
+            let mut flip = false;
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_{kind}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        flip = !flip;
+                        controller.replan(
+                            if flip { &failed_a } else { &failed_b },
+                            ReplanDelta::CapacityOnly,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replan);
+criterion_main!(benches);

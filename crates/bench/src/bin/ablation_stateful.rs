@@ -41,7 +41,7 @@ fn mark_heaviest(workload: &Workload, share: f64) -> StatefulMarks {
             })
         })
         .collect();
-    services.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite demands"));
+    services.sort_by(|a, b| b.0.total_cmp(&a.0));
     let total: f64 = services.iter().map(|s| s.0).sum();
     let mut marks = StatefulMarks::new();
     let mut held = 0.0;

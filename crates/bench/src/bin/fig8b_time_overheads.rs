@@ -1,31 +1,108 @@
 //! Figure 8b: planning time vs. cluster size for Phoenix, Default, and the
-//! ILP baselines.
+//! ILP baselines — plus the cold-vs-warm incremental replanning comparison
+//! and its machine-readable baseline file.
 //!
 //! Default sizes are 100 → 10 000 nodes; `--full` appends 100 000 (the
-//! paper's largest point — Phoenix must stay under 10 s). The ILPs run
-//! only at the smallest sizes with a `--lp-secs` budget (default 60 s) and
-//! report DNF beyond it, reproducing "the LP does not scale beyond
-//! 1000-server clusters".
+//! paper's largest point — Phoenix must stay under 10 s) and `--smoke`
+//! shrinks to the 100-node point with no ILP (the CI perf-trajectory
+//! step). The ILPs run only at the smallest sizes with a `--lp-secs`
+//! budget (default 60 s) and report DNF beyond it, reproducing "the LP
+//! does not scale beyond 1000-server clusters".
+//!
+//! `--json <path>` writes the replan cold/warm baselines as JSON (the
+//! `BENCH_planner.json` format documented in the README): one row per
+//! `(nodes, objective)` with min-of-N cold and warm round times and the
+//! speedup, after asserting the two produce identical action plans.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, flag, secs, Table};
+use phoenix_bench::{arg, flag, replan_scenario, secs, Table};
 use phoenix_cluster::failure::fail_fraction;
+use phoenix_core::controller::{plan_with, PhoenixConfig};
+use phoenix_core::objectives::ObjectiveKind;
 use phoenix_core::policies::{DefaultPolicy, LpPolicy, PhoenixPolicy, ResiliencePolicy};
+use phoenix_core::replan::ReplanDelta;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// One cold/warm measurement row for the JSON baseline file.
+struct ReplanRow {
+    nodes: usize,
+    objective: ObjectiveKind,
+    cold: Duration,
+    warm: Duration,
+}
+
+/// Min-of-N cold rounds vs. min-of-N warm rounds on the shared
+/// monitor-tick scenario (converged cluster, alternating one/two failed
+/// nodes), with the warm/cold action plans asserted equal first inside
+/// [`replan_scenario::converge_and_degrade`].
+fn measure_replan(env: &phoenix_adaptlab::scenario::AdaptLabEnv, kind: ObjectiveKind) -> ReplanRow {
+    let (mut controller, failed_a, failed_b) = replan_scenario::converge_and_degrade(env, kind);
+    let cfg = PhoenixConfig::with_objective(kind);
+    let rounds = 6;
+    let mut cold = Duration::MAX;
+    let mut warm = Duration::MAX;
+    for i in 0..rounds {
+        let state = if i % 2 == 0 { &failed_a } else { &failed_b };
+        let t = Instant::now();
+        let _ = plan_with(&env.workload, state, &cfg);
+        cold = cold.min(t.elapsed());
+        let t = Instant::now();
+        let _ = controller.replan(state, ReplanDelta::CapacityOnly);
+        warm = warm.min(t.elapsed());
+    }
+    ReplanRow {
+        nodes: env.baseline.node_count(),
+        objective: kind,
+        cold,
+        warm,
+    }
+}
+
+fn write_json(path: &str, scale: &str, rows: &[ReplanRow]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"planner_replan\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str("  \"equivalence_checked\": true,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let cold_ms = r.cold.as_secs_f64() * 1e3;
+        let warm_ms = r.warm.as_secs_f64() * 1e3;
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"objective\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.nodes,
+            r.objective,
+            cold_ms,
+            warm_ms,
+            cold_ms / warm_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write JSON baselines");
+    println!("replan baselines written to {path}");
+}
+
 fn main() {
-    let mut sizes = vec![100usize, 1_000, 10_000];
+    let smoke = flag("smoke");
+    let mut sizes = if smoke {
+        vec![100usize]
+    } else {
+        vec![100usize, 1_000, 10_000]
+    };
     if flag("full") {
         sizes.push(100_000);
     }
     let lp_secs = arg("lp-secs", 60u64);
-    let lp_max_nodes: usize = arg("lp-max-nodes", 1_000);
+    let lp_max_nodes: usize = if smoke { 0 } else { arg("lp-max-nodes", 1_000) };
+    let json_path: String = arg("json", String::new());
 
+    let mut replan_rows: Vec<ReplanRow> = Vec::new();
     let mut table = Table::new(["nodes", "scheme", "plan time", "notes"]);
     for &nodes in &sizes {
         // Scale the trace down for small clusters so the fill succeeds.
@@ -71,6 +148,26 @@ fn main() {
             ]);
         }
 
+        // Cold vs. warm incremental replanning (monitor-tick scenario).
+        for kind in [ObjectiveKind::Cost, ObjectiveKind::Fairness] {
+            let row = measure_replan(&env, kind);
+            let label = match kind {
+                ObjectiveKind::Cost => "PhoenixCost-warm",
+                ObjectiveKind::Fairness => "PhoenixFair-warm",
+            };
+            table.row([
+                nodes.to_string(),
+                label.to_string(),
+                secs(row.warm.as_secs_f64()),
+                format!(
+                    "cold {} -> {:.1}x faster",
+                    secs(row.cold.as_secs_f64()),
+                    row.cold.as_secs_f64() / row.warm.as_secs_f64()
+                ),
+            ]);
+            replan_rows.push(row);
+        }
+
         // The LP baselines run on a parallel small-app environment — the
         // paper's own setup ("even with applications with less than 20
         // microservices" the LP stops scaling past 1000 nodes).
@@ -114,7 +211,7 @@ fn main() {
                     plan.notes.clone(),
                 ]);
             }
-        } else {
+        } else if !smoke {
             table.row([
                 nodes.to_string(),
                 "LPCost/LPFair".into(),
@@ -124,4 +221,15 @@ fn main() {
         }
     }
     table.print("Figure 8b: time to compute a new target state");
+
+    if !json_path.is_empty() {
+        let scale = if flag("full") {
+            "full"
+        } else if smoke {
+            "smoke"
+        } else {
+            "laptop"
+        };
+        write_json(&json_path, scale, &replan_rows);
+    }
 }

@@ -1,0 +1,52 @@
+//! Stage-level timing breakdown of cold `plan_with` vs. warm
+//! `Controller::replan` on the shared monitor-tick scenario (converged
+//! cluster, alternating one/two failed nodes). Diagnostic companion to
+//! the `replan` Criterion bench; not part of any figure.
+
+use phoenix_bench::arg;
+use phoenix_bench::replan_scenario::{converge_and_degrade, replan_env};
+use phoenix_core::controller::{plan_with, PhoenixConfig};
+use phoenix_core::objectives::ObjectiveKind;
+use phoenix_core::replan::ReplanDelta;
+use std::time::Instant;
+
+fn main() {
+    let nodes: usize = arg("nodes", 1000);
+    let env = replan_env(nodes);
+    println!(
+        "apps={} pods={}",
+        env.workload.app_count(),
+        env.baseline.pod_count()
+    );
+
+    for kind in [ObjectiveKind::Cost, ObjectiveKind::Fairness] {
+        let (mut controller, failed_a, failed_b) = converge_and_degrade(&env, kind);
+        let cfg = PhoenixConfig::with_objective(kind);
+        for (label, state) in [("a", &failed_a), ("b", &failed_b), ("a", &failed_a)] {
+            let t = Instant::now();
+            let r = plan_with(&env.workload, state, &cfg);
+            let total = t.elapsed();
+            println!(
+                "{kind} cold[{label}]: total {total:?} planner {:?} sched {:?} rest {:?} actions {}",
+                r.planner_time,
+                r.scheduler_time,
+                total - r.planner_time - r.scheduler_time,
+                r.actions.len()
+            );
+        }
+        for round in 0..6 {
+            let state = if round % 2 == 0 { &failed_a } else { &failed_b };
+            let t = Instant::now();
+            let r = controller.replan(state, ReplanDelta::CapacityOnly);
+            let total = t.elapsed();
+            println!(
+                "{kind} warm[{}]: total {total:?} planner {:?} sched {:?} rest {:?} actions {}",
+                if round % 2 == 0 { "a" } else { "b" },
+                r.planner_time,
+                r.scheduler_time,
+                total - r.planner_time - r.scheduler_time,
+                r.actions.len()
+            );
+        }
+    }
+}

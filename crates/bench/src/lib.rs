@@ -73,6 +73,68 @@ impl Table {
     }
 }
 
+/// The monitor-tick replanning scenario shared by the fig8b warm/cold
+/// rows, the `replan` Criterion bench, and `replan_breakdown`, so the
+/// three never drift apart in what they measure.
+pub mod replan_scenario {
+    use phoenix_adaptlab::alibaba::AlibabaConfig;
+    use phoenix_adaptlab::scenario::{build_env, AdaptLabEnv, EnvConfig};
+    use phoenix_adaptlab::tagging::TaggingScheme;
+    use phoenix_cluster::{ClusterState, NodeId};
+    use phoenix_core::controller::{plan_with, PhoenixConfig, PhoenixController};
+    use phoenix_core::objectives::ObjectiveKind;
+    use phoenix_core::replan::ReplanDelta;
+
+    /// The standard environment the replan benches run against.
+    pub fn replan_env(nodes: usize) -> AdaptLabEnv {
+        build_env(&EnvConfig {
+            nodes,
+            node_capacity: 64.0,
+            target_utilization: 0.75,
+            tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+            alibaba: AlibabaConfig {
+                max_services: (nodes * 3).min(3000),
+                ..AlibabaConfig::default()
+            },
+            seed: 11,
+            ..EnvConfig::default()
+        })
+    }
+
+    /// Converges the cluster on the controller's own plan, then derives
+    /// the two degraded states benches alternate between (one vs. two
+    /// failed nodes — every round is a genuine capacity-only delta).
+    ///
+    /// Also asserts warm/cold action-plan equality on the first degraded
+    /// state, so every consumer of this scenario is an equivalence test.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the warm replan diverges from the cold plan.
+    pub fn converge_and_degrade(
+        env: &AdaptLabEnv,
+        kind: ObjectiveKind,
+    ) -> (PhoenixController, ClusterState, ClusterState) {
+        let mut controller =
+            PhoenixController::new(env.workload.clone(), PhoenixConfig::with_objective(kind));
+        let live = controller.replan(&env.baseline, ReplanDelta::Full).target;
+        let mut failed_a = live.clone();
+        failed_a.fail_node(NodeId::new(0));
+        let mut failed_b = live;
+        failed_b.fail_node(NodeId::new(0));
+        failed_b.fail_node(NodeId::new(1));
+
+        let warm = controller.replan(&failed_a, ReplanDelta::CapacityOnly);
+        let cold = plan_with(
+            &env.workload,
+            &failed_a,
+            &PhoenixConfig::with_objective(kind),
+        );
+        assert_eq!(warm.actions, cold.actions, "warm/cold divergence ({kind})");
+        (controller, failed_a, failed_b)
+    }
+}
+
 /// `true` when `--name` appears on the command line.
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))

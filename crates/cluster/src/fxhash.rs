@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for the controller's pod-keyed maps
+//! (the `rustc-hash`/Fx construction: rotate, xor, multiply).
+//!
+//! The planner's hot path is dominated by hash-map traffic over
+//! [`PodKey`](crate::PodKey)s — assignment lookups during packing, the
+//! plan's rank map, action diffs. SipHash's DoS resistance buys nothing
+//! there (keys are dense internal ids, not attacker-controlled strings)
+//! and costs several times the throughput, so these maps use Fx instead.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (golden-ratio derived, as in Firefox/rustc).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PodKey;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of(key: impl Hash) -> u64 {
+        FxBuildHasher::default().hash_one(key)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let a = hash_of(PodKey::new(1, 2, 3));
+        assert_eq!(a, hash_of(PodKey::new(1, 2, 3)));
+        assert_ne!(a, hash_of(PodKey::new(1, 2, 4)));
+        assert_ne!(a, hash_of(PodKey::new(2, 1, 3)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<PodKey, usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(PodKey::new(i, i * 2, 0), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&PodKey::new(7, 14, 0)), Some(&7));
+        assert_eq!(m.get(&PodKey::new(7, 15, 0)), None);
+    }
+
+    #[test]
+    fn byte_tail_paths_differ() {
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 3, 0]));
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+    }
+}

@@ -38,12 +38,14 @@
 pub mod default_sched;
 mod error;
 pub mod failure;
+pub mod fxhash;
 pub mod packing;
 mod resources;
 mod sorted;
 mod state;
 
 pub use error::ClusterError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use resources::Resources;
 pub use sorted::{OrderedF64, SortedNodes};
 pub use state::{ClusterState, NodeId, PodKey};

@@ -13,9 +13,9 @@
 //! All work happens on a scratch [`ClusterState`] copy owned by the caller;
 //! enforcement is the agent's job (§4.2).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use crate::{ClusterState, NodeId, PodKey, Resources, SortedNodes};
+use crate::{ClusterState, FxHashMap, NodeId, PodKey, Resources, SortedNodes};
 
 /// One entry of the planner's globally-ranked list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,14 +108,40 @@ impl PackOutcome {
 /// that is the diagonal-scaling step. Remaining plan entries are placed in
 /// rank order with the three-pronged strategy.
 pub fn pack(state: &mut ClusterState, plan: &[PlannedPod], cfg: &PackingConfig) -> PackOutcome {
-    let mut out = PackOutcome::default();
-    let rank_of: HashMap<PodKey, usize> =
+    let rank_of: FxHashMap<PodKey, usize> =
         plan.iter().enumerate().map(|(i, p)| (p.key, i)).collect();
+    pack_prepared(state, plan, cfg, |p| rank_of.get(&p).copied())
+}
+
+/// [`pack`] with a caller-supplied `pod key → plan index` lookup.
+///
+/// Warm replanning (`phoenix_core::replan`) passes a dense
+/// workload-shaped table here instead of a freshly built hash map, so
+/// steady rounds skip the O(pods) map construction and pay array reads in
+/// the membership scans. `rank_of` **must** return exactly `Some(i)` for
+/// `plan[i].key` and `None` for every other pod; anything else loses the
+/// byte-identical-to-[`pack`] guarantee.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when `rank_of` disagrees with `plan`, and in
+/// all builds when it returns `None` for an assigned planned pod.
+pub fn pack_prepared(
+    state: &mut ClusterState,
+    plan: &[PlannedPod],
+    cfg: &PackingConfig,
+    rank_of: impl Fn(PodKey) -> Option<usize>,
+) -> PackOutcome {
+    debug_assert!(plan
+        .iter()
+        .enumerate()
+        .all(|(i, p)| rank_of(p.key) == Some(i)));
+    let mut out = PackOutcome::default();
 
     // Step 0: diagonal scaling — drop running pods the plan turned off.
     let to_drop: Vec<PodKey> = state
         .assignments()
-        .filter(|(p, _, _)| !rank_of.contains_key(p))
+        .filter(|&(p, _, _)| rank_of(p).is_none())
         .map(|(p, _, _)| p)
         .collect();
     for p in to_drop {
@@ -130,10 +156,10 @@ pub fn pack(state: &mut ClusterState, plan: &[PlannedPod], cfg: &PackingConfig) 
     }
 
     // Active planned pods, ordered by rank (for the deletion fallback).
-    let mut active: BTreeSet<(usize, PodKey)> = state
-        .assignments()
-        .map(|(p, _, _)| (rank_of[&p], p))
-        .collect();
+    // Built lazily on the first fallback: rounds with enough capacity — the
+    // common case, and every warm replan after a small failure — never pay
+    // the O(pods · log pods) set construction.
+    let mut active: Option<BTreeSet<(usize, PodKey)>> = None;
 
     for (rank, planned) in plan.iter().enumerate() {
         if state.node_of(planned.key).is_some() {
@@ -144,6 +170,12 @@ pub fn pack(state: &mut ClusterState, plan: &[PlannedPod], cfg: &PackingConfig) 
             target = repack_to_fit(state, &mut sorted, planned.demand, cfg, &mut out);
         }
         while target.is_none() {
+            let active = active.get_or_insert_with(|| {
+                state
+                    .assignments()
+                    .map(|(p, _, _)| (rank_of(p).expect("assigned pod is planned"), p))
+                    .collect()
+            });
             // Delete the lowest-priority active pod that ranks below us.
             let Some(&(victim_rank, victim)) = active.iter().next_back() else {
                 break;
@@ -169,7 +201,9 @@ pub fn pack(state: &mut ClusterState, plan: &[PlannedPod], cfg: &PackingConfig) 
                     .assign(planned.key, planned.demand, node)
                     .expect("fit was just verified");
                 sorted.update(node, state.remaining(node).scalar());
-                active.insert((rank, planned.key));
+                if let Some(active) = active.as_mut() {
+                    active.insert((rank, planned.key));
+                }
                 out.starts.push((planned.key, node));
             }
             None => {
@@ -241,11 +275,9 @@ fn repack_to_fit(
             .iter()
             .map(|&p| (p, state.demand_of(p).expect("pod on node is assigned")))
             .collect();
-        pods.sort_by(|a, b| {
-            a.1.scalar()
-                .partial_cmp(&b.1.scalar())
-                .expect("demands are finite")
-        });
+        // `total_cmp`: a degenerate (NaN) demand must order deterministically
+        // (last, as the hardest to re-home), not panic mid-incident.
+        pods.sort_by(|a, b| a.1.scalar().total_cmp(&b.1.scalar()));
         let mut ok = false;
         for (p, d) in pods {
             if fits_node(state, cfg, source, demand) {
@@ -602,6 +634,109 @@ mod tests {
         }
         for n in [NodeId::new(0), NodeId::new(1)] {
             assert!(state.pods_on(n).len() <= 3);
+        }
+        state.check_invariants().unwrap();
+    }
+
+    /// Snapshot of everything `repack_to_fit` may touch: pod placements
+    /// and the `SortedNodes` keys.
+    fn snapshot(state: &ClusterState, sorted: &SortedNodes) -> (Vec<(PodKey, NodeId)>, Vec<f64>) {
+        let mut pods: Vec<(PodKey, NodeId)> = state.assignments().map(|(p, n, _)| (p, n)).collect();
+        pods.sort_unstable();
+        let keys = state
+            .node_ids()
+            .iter()
+            .map(|&n| sorted.key(n).unwrap_or(f64::NEG_INFINITY))
+            .collect();
+        (pods, keys)
+    }
+
+    #[test]
+    fn repack_rollback_restores_exact_pre_attempt_state() {
+        // Node0 full (3×2 CPU of 6); node1 5/6 free with one 1-CPU pod.
+        // An incoming 6-CPU demand: candidate node1 cannot be freed (its
+        // 1-CPU pod has no destination — node0 is full), candidate node0
+        // makes one tentative move (budget 1), still cannot host 6, and
+        // must roll back. After the failed attempt every placement and
+        // every SortedNodes key must be byte-identical to the snapshot.
+        let mut state = ClusterState::new([Resources::cpu(6.0), Resources::cpu(6.0)]);
+        for (s, node) in [(1, 0), (2, 0), (3, 0), (4, 1)] {
+            let cpu = if s == 4 { 1.0 } else { 2.0 };
+            state
+                .assign(pod(s), Resources::cpu(cpu), NodeId::new(node as u32))
+                .unwrap();
+        }
+        let mut sorted = SortedNodes::new();
+        for n in state.healthy_nodes() {
+            sorted.insert(n, state.remaining(n).scalar());
+        }
+        let before = snapshot(&state, &sorted);
+
+        let cfg = PackingConfig {
+            max_migration_moves: 1,
+            ..PackingConfig::default()
+        };
+        let mut out = PackOutcome::default();
+        let target = repack_to_fit(&mut state, &mut sorted, Resources::cpu(6.0), &cfg, &mut out);
+
+        assert_eq!(target, None, "no candidate can be freed");
+        assert_eq!(snapshot(&state, &sorted), before, "rollback incomplete");
+        assert!(out.migrations.is_empty(), "tentative moves leaked");
+        assert!(out.deletions.is_empty() && out.starts.is_empty());
+        state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repack_success_after_failed_candidate_keeps_bookkeeping_consistent() {
+        // Demand 10 with a 1-move budget. Candidate node0 (rem 6, two
+        // 3-CPU pods) moves one pod to node2, is still short (rem 9),
+        // and rolls back. Candidate node1 (rem 5, one 6-CPU pod) then
+        // succeeds by moving its pod into node0's restored 6 CPUs —
+        // which only fits if the rollback really restored them. The
+        // outcome must record the successful candidate's move only.
+        let mut state = ClusterState::new([
+            Resources::cpu(12.0),
+            Resources::cpu(11.0),
+            Resources::cpu(3.0),
+        ]);
+        state
+            .assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(3), Resources::cpu(6.0), NodeId::new(1))
+            .unwrap();
+        let mut sorted = SortedNodes::new();
+        for n in state.healthy_nodes() {
+            sorted.insert(n, state.remaining(n).scalar());
+        }
+        let cfg = PackingConfig {
+            max_migration_moves: 1,
+            ..PackingConfig::default()
+        };
+        let mut out = PackOutcome::default();
+        let target = repack_to_fit(
+            &mut state,
+            &mut sorted,
+            Resources::cpu(10.0),
+            &cfg,
+            &mut out,
+        );
+        assert_eq!(target, Some(NodeId::new(1)));
+        // Only the successful candidate's move is recorded; node0's
+        // tentative move was rolled back and left no trace.
+        assert_eq!(
+            out.migrations,
+            vec![(pod(3), NodeId::new(1), NodeId::new(0))]
+        );
+        assert!(Resources::cpu(10.0).fits_in(&state.remaining(NodeId::new(1))));
+        assert_eq!(state.node_of(pod(1)), Some(NodeId::new(0)));
+        assert_eq!(state.node_of(pod(2)), Some(NodeId::new(0)));
+        // SortedNodes keys agree with the mutated state on every node.
+        for n in state.node_ids() {
+            assert_eq!(sorted.key(n), Some(state.remaining(n).scalar()), "{n}");
         }
         state.check_invariants().unwrap();
     }

@@ -7,24 +7,31 @@ use std::fmt;
 
 use crate::state::NodeId;
 
-/// A total-ordering wrapper for finite `f64` keys.
+/// A total-ordering wrapper for `f64` keys.
 ///
-/// # Panics
-///
-/// Construction panics on NaN (capacities are always finite).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Ordering is [`f64::total_cmp`], so even a degenerate NaN key (a
+/// corrupted capacity mid-incident) orders deterministically — positive
+/// NaN above `+∞` — instead of panicking the scheduler. Note that
+/// `total_cmp` distinguishes `-0.0 < +0.0`; capacities are non-negative,
+/// so in practice keys behave exactly like the old finite-only ordering.
+#[derive(Debug, Clone, Copy)]
 pub struct OrderedF64(f64);
 
 impl OrderedF64 {
-    /// Wraps a finite float.
+    /// Wraps a float.
     pub fn new(v: f64) -> OrderedF64 {
-        assert!(!v.is_nan(), "ordering key must not be NaN");
         OrderedF64(v)
     }
 
     /// The wrapped value.
     pub fn get(self) -> f64 {
         self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &OrderedF64) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
 
@@ -38,9 +45,7 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &OrderedF64) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("NaN excluded at construction")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -230,9 +235,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_key_panics() {
+    fn nan_key_is_deterministic_not_fatal() {
+        // A corrupted capacity must degrade deterministically: the NaN key
+        // sorts above +∞ (total order), stays re-keyable, and never panics.
         let mut s = SortedNodes::new();
         s.insert(n(0), f64::NAN);
+        s.insert(n(1), 4.0);
+        assert_eq!(s.worst_fit(), Some(n(0)));
+        assert_eq!(s.best_fit(2.0), Some(n(1)));
+        s.update(n(0), 1.0);
+        assert_eq!(s.worst_fit(), Some(n(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(n(0)), Some(1.0));
     }
 }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 use crate::{ClusterError, Resources};
@@ -72,8 +72,9 @@ struct NodeState {
 #[derive(Debug, Clone, Default)]
 pub struct ClusterState {
     nodes: Vec<NodeState>,
-    /// pod -> (node, demand)
-    assignments: HashMap<PodKey, (NodeId, Resources)>,
+    /// pod -> (node, demand). Fx-hashed: pod keys are dense internal ids
+    /// and this map is the packing/diff hot path.
+    assignments: FxHashMap<PodKey, (NodeId, Resources)>,
 }
 
 impl ClusterState {
@@ -89,7 +90,7 @@ impl ClusterState {
                     pods: Vec::new(),
                 })
                 .collect(),
-            assignments: HashMap::new(),
+            assignments: FxHashMap::default(),
         }
     }
 

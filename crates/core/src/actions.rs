@@ -7,6 +7,7 @@
 //! list from (live, target) state pairs, so any planner/policy that
 //! produces a target [`ClusterState`] gets execution for free.
 
+use phoenix_cluster::packing::PackOutcome;
 use phoenix_cluster::{ClusterState, NodeId, PodKey};
 
 /// One task for the cluster scheduler.
@@ -116,13 +117,85 @@ pub fn diff_states(live: &ClusterState, target: &ClusterState) -> ActionPlan {
     ActionPlan { actions }
 }
 
+/// [`diff_states`] computed from a packing outcome instead of a full-state
+/// sweep: only pods the pack actually touched are classified.
+///
+/// `target` must be the state `outcome` was produced on (live + the
+/// outcome's mutations); every pod the pack mutated appears in the
+/// outcome's deletion/migration/start lists, so the net action of any
+/// other pod is provably "none". Output is identical to
+/// `diff_states(live, target)` — the warm-replan equivalence tests check
+/// this on every round — but costs O(actions) instead of O(pods).
+pub fn diff_from_outcome(
+    live: &ClusterState,
+    target: &ClusterState,
+    outcome: &PackOutcome,
+) -> ActionPlan {
+    let mut touched: Vec<PodKey> = outcome
+        .deletions
+        .iter()
+        .copied()
+        .chain(outcome.migrations.iter().map(|&(p, _, _)| p))
+        .chain(outcome.starts.iter().map(|&(p, _)| p))
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+
+    let mut deletes = Vec::new();
+    let mut migrations = Vec::new();
+    let mut starts = Vec::new();
+    // `touched` is sorted, so each group comes out sorted by pod key —
+    // the same order `diff_states` produces.
+    for pod in touched {
+        match (live.node_of(pod), target.node_of(pod)) {
+            (Some(node), None) => deletes.push(Action::Delete { pod, node }),
+            (Some(from), Some(to)) if from != to => {
+                migrations.push(Action::Migrate { pod, from, to })
+            }
+            (None, Some(node)) => starts.push(Action::Start { pod, node }),
+            // Net no-op: started-then-victimized, or moved away and back.
+            _ => {}
+        }
+    }
+    let mut actions = deletes;
+    actions.extend(migrations);
+    actions.extend(starts);
+    ActionPlan { actions }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phoenix_cluster::packing::{pack, PackingConfig, PlannedPod};
     use phoenix_cluster::Resources;
 
     fn pod(s: u32) -> PodKey {
         PodKey::new(0, s, 0)
+    }
+
+    #[test]
+    fn outcome_diff_matches_state_diff() {
+        // A pack with all action kinds: a kept pod, a deleted pod (absent
+        // from the plan), a victim, re-placements, and fresh starts.
+        let mut live = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        live.assign(pod(1), Resources::cpu(5.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(2), Resources::cpu(5.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(9), Resources::cpu(3.0), NodeId::new(1))
+            .unwrap(); // not planned → deleted
+        let plan = vec![
+            PlannedPod::new(pod(0), Resources::cpu(6.0)), // forces victims
+            PlannedPod::new(pod(1), Resources::cpu(5.0)),
+            PlannedPod::new(pod(2), Resources::cpu(5.0)),
+            PlannedPod::new(pod(3), Resources::cpu(1.0)),
+        ];
+        let mut target = live.clone();
+        let outcome = pack(&mut target, &plan, &PackingConfig::default());
+        assert_eq!(
+            diff_from_outcome(&live, &target, &outcome),
+            diff_states(&live, &target)
+        );
     }
 
     #[test]

@@ -293,7 +293,7 @@ impl BlastRadius {
             .filter(|&(i, _)| i != self.inflator.index())
             .map(|(i, (&h, &a))| (AppId::new(i as u32), h - a))
             .filter(|&(_, drop)| drop > 1e-9)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("coverage is finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

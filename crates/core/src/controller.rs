@@ -10,6 +10,7 @@ use crate::actions::{diff_states, ActionPlan};
 use crate::objectives::{ObjectiveKind, OperatorObjective};
 use crate::planner::{app_rank, PlannerConfig};
 use crate::ranking::{global_rank, GlobalRank};
+use crate::replan::{replan_with, ReplanCache, ReplanDelta};
 use crate::spec::Workload;
 
 /// Controller configuration: objective + planner + packing knobs.
@@ -80,12 +81,17 @@ impl PlanResult {
 pub struct PhoenixController {
     workload: Workload,
     config: PhoenixConfig,
+    cache: ReplanCache,
 }
 
 impl PhoenixController {
     /// Creates a controller for `workload`.
     pub fn new(workload: Workload, config: PhoenixConfig) -> PhoenixController {
-        PhoenixController { workload, config }
+        PhoenixController {
+            workload,
+            config,
+            cache: ReplanCache::new(),
+        }
     }
 
     /// The workload this controller manages.
@@ -94,6 +100,9 @@ impl PhoenixController {
     }
 
     /// Mutable access to the configuration (for ablations).
+    ///
+    /// Knob changes are picked up by the next [`replan`](Self::replan)
+    /// automatically (the warm cache re-validates per round).
     pub fn config_mut(&mut self) -> &mut PhoenixConfig {
         &mut self.config
     }
@@ -101,9 +110,24 @@ impl PhoenixController {
     /// Plans a new target state for the (possibly degraded) `state`.
     ///
     /// `state` is *not* mutated; packing happens on a scratch copy that is
-    /// returned as [`PlanResult::target`].
+    /// returned as [`PlanResult::target`]. Always runs the pipeline cold;
+    /// use [`replan`](Self::replan) inside a monitoring loop.
     pub fn plan(&self, state: &ClusterState) -> PlanResult {
         plan_with(&self.workload, state, &self.config)
+    }
+
+    /// Warm-started planning round: identical output to
+    /// [`plan`](Self::plan), but reuses the previous round's per-app
+    /// ranks, global ranking, and packing bookkeeping wherever `delta`
+    /// and the cached fingerprints allow (see [`crate::replan`]).
+    pub fn replan(&mut self, state: &ClusterState, delta: ReplanDelta) -> PlanResult {
+        replan_with(&self.workload, state, &self.config, &mut self.cache, delta)
+    }
+
+    /// Drops the warm-replan cache (next [`replan`](Self::replan) runs
+    /// cold). Useful after bulk workload edits through external channels.
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
     }
 }
 
@@ -235,6 +259,29 @@ mod tests {
         let before = state.pod_count();
         let _ = c.plan(&state);
         assert_eq!(state.pod_count(), before);
+    }
+
+    #[test]
+    fn replan_matches_plan_and_cache_can_be_dropped() {
+        use crate::replan::ReplanDelta;
+
+        let w = workload();
+        let mut c = PhoenixController::new(w, PhoenixConfig::default());
+        let mut state = ClusterState::homogeneous(4, Resources::cpu(4.0));
+        let full = c.replan(&state, ReplanDelta::Full);
+        assert_eq!(full.actions, c.plan(&state).actions);
+        for (pod, node, demand) in full.target.assignments() {
+            let _ = (node, demand);
+            state
+                .assign(pod, full.target.demand_of(pod).unwrap(), node)
+                .unwrap();
+        }
+        state.fail_node(NodeId::new(0));
+        let warm = c.replan(&state, ReplanDelta::CapacityOnly);
+        assert_eq!(warm.actions, c.plan(&state).actions);
+        c.invalidate_cache();
+        let cold_again = c.replan(&state, ReplanDelta::Full);
+        assert_eq!(cold_again.actions, warm.actions);
     }
 
     #[test]

@@ -62,8 +62,10 @@ pub mod planner;
 pub mod policies;
 pub mod profiling;
 pub mod ranking;
+pub mod replan;
 pub mod spec;
 pub mod stateful;
+pub mod stats;
 pub mod tags;
 pub mod waterfill;
 pub mod weaver;

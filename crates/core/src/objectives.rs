@@ -39,6 +39,29 @@ pub trait OperatorObjective: fmt::Debug + Send + Sync {
 
     /// Short name for reports ("cost", "fairness", …).
     fn name(&self) -> &'static str;
+
+    /// `true` when [`score`](OperatorObjective::score) ignores the
+    /// allocation-dependent context fields (`allocated` and `fair_share`),
+    /// i.e. depends only on static facts about the app and service.
+    ///
+    /// For such objectives the global-ranking pop order is independent of
+    /// cluster capacity, so warm replanning can replay a cached merge
+    /// order instead of re-scoring a heap (see `phoenix_core::replan`).
+    /// Returning `true` while reading `allocated`/`fair_share` breaks the
+    /// warm/cold equivalence guarantee; when in doubt keep the default.
+    fn capacity_invariant(&self) -> bool {
+        false
+    }
+
+    /// The built-in objective this instance *is*, if any.
+    ///
+    /// Warm replanning uses this to devirtualize the ranking merge loop
+    /// (a direct call per candidate instead of a vtable dispatch). Only
+    /// return `Some` when `score` is byte-for-byte the built-in's scoring
+    /// function; custom objectives keep the `None` default.
+    fn as_builtin(&self) -> Option<ObjectiveKind> {
+        None
+    }
 }
 
 /// Revenue maximization: containers from apps paying more per unit resource
@@ -53,6 +76,14 @@ impl OperatorObjective for CostObjective {
 
     fn name(&self) -> &'static str {
         "cost"
+    }
+
+    fn capacity_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_builtin(&self) -> Option<ObjectiveKind> {
+        Some(ObjectiveKind::Cost)
     }
 }
 
@@ -79,6 +110,10 @@ impl OperatorObjective for FairnessObjective {
     fn name(&self) -> &'static str {
         "fairness"
     }
+
+    fn as_builtin(&self) -> Option<ObjectiveKind> {
+        Some(ObjectiveKind::Fairness)
+    }
 }
 
 /// Raw criticality ordering: all `C1` containers cluster-wide before any
@@ -95,6 +130,10 @@ impl OperatorObjective for CriticalityObjective {
 
     fn name(&self) -> &'static str {
         "criticality"
+    }
+
+    fn capacity_invariant(&self) -> bool {
+        true
     }
 }
 

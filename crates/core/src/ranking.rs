@@ -14,7 +14,7 @@ use phoenix_cluster::Resources;
 use crate::objectives::{OperatorObjective, RankContext};
 use crate::planner::PlannerConfig;
 use crate::spec::{AppId, ServiceId, Workload};
-use crate::waterfill::waterfill;
+use crate::waterfill::{demand_order, waterfill_with_order};
 
 /// One entry of the global activation list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,10 +51,11 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
         // Max-heap on score; deterministic tie-break on app id (smaller id
-        // first ⇒ reversed comparison inside the max-heap).
+        // first ⇒ reversed comparison inside the max-heap). `total_cmp`
+        // keeps the order total even for NaN scores from a degenerate
+        // operator objective: NaN ranks above +∞, never panics.
         self.score
-            .partial_cmp(&other.score)
-            .expect("scores must not be NaN")
+            .total_cmp(&other.score)
             .then_with(|| other.app.cmp(&self.app))
     }
 }
@@ -62,6 +63,107 @@ impl Ord for HeapEntry {
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &HeapEntry) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// One candidate of one app's activation chain, with every fact the merge
+/// loop reads flattened out of the [`Workload`].
+#[derive(Debug, Clone, Copy)]
+struct ChainEntry {
+    service: ServiceId,
+    demand: Resources,
+    scalar: f64,
+    criticality: crate::tags::Criticality,
+}
+
+/// Precomputed inputs to global ranking: the per-app activation chains from
+/// [`crate::planner::app_rank`] with demands, tags, and prices resolved
+/// into dense arrays.
+///
+/// Cold planning builds this per round; warm replanning
+/// ([`crate::replan`]) caches it across rounds keyed by app fingerprints.
+/// Both paths feed the same merge loop, so their outputs are identical by
+/// construction.
+#[derive(Debug, Clone, Default)]
+pub struct RankInputs {
+    chains: Vec<Vec<ChainEntry>>,
+    prices: Vec<f64>,
+    demand_scalars: Vec<f64>,
+    demand_sort: Vec<usize>,
+}
+
+impl RankInputs {
+    /// Flattens `app_ranks` against `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app_ranks.len()` differs from the workload's app count.
+    pub fn new(workload: &Workload, app_ranks: &[Vec<ServiceId>]) -> RankInputs {
+        assert_eq!(
+            app_ranks.len(),
+            workload.app_count(),
+            "one rank list per app required"
+        );
+        let chains: Vec<Vec<ChainEntry>> = workload
+            .apps()
+            .zip(app_ranks)
+            .map(|((_, app), rank)| {
+                rank.iter()
+                    .map(|&service| {
+                        let demand = app.service(service).total_demand();
+                        ChainEntry {
+                            service,
+                            demand,
+                            scalar: demand.scalar(),
+                            criticality: app.criticality_of(service),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let prices = workload.apps().map(|(_, a)| a.price_per_unit()).collect();
+        let demand_scalars: Vec<f64> = workload
+            .apps()
+            .map(|(_, a)| a.total_demand().scalar())
+            .collect();
+        let demand_sort = demand_order(&demand_scalars);
+        RankInputs {
+            chains,
+            prices,
+            demand_scalars,
+            demand_sort,
+        }
+    }
+
+    /// Number of applications.
+    pub fn app_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Water-filling fair shares under `capacity` — exactly what the merge
+    /// loop would compute internally (same cached sort order).
+    pub fn fair_shares(&self, capacity: f64) -> Vec<f64> {
+        waterfill_with_order(&self.demand_scalars, &self.demand_sort, capacity)
+    }
+
+    fn entry<O: OperatorObjective + ?Sized>(
+        &self,
+        objective: &O,
+        fair_shares: &[f64],
+        allocated: &[f64],
+        app: AppId,
+        pos: usize,
+    ) -> Option<HeapEntry> {
+        let e = self.chains[app.index()].get(pos)?;
+        let score = objective.score(&RankContext {
+            app,
+            next_demand: e.scalar,
+            allocated: allocated[app.index()],
+            fair_share: fair_shares[app.index()],
+            price: self.prices[app.index()],
+            criticality: e.criticality,
+        });
+        Some(HeapEntry { score, app, pos })
     }
 }
 
@@ -78,55 +180,53 @@ pub fn global_rank(
     capacity: Resources,
     cfg: &PlannerConfig,
 ) -> GlobalRank {
-    assert_eq!(
-        app_ranks.len(),
-        workload.app_count(),
-        "one rank list per app required"
+    global_rank_prepared(
+        &RankInputs::new(workload, app_ranks),
+        objective,
+        capacity,
+        cfg,
+    )
+}
+
+/// [`global_rank`] over prebuilt [`RankInputs`] (warm-replan entry point).
+///
+/// Generic over the objective so warm replanning can pass a concrete
+/// built-in type and devirtualize the per-candidate `score` call; trait
+/// objects (`&dyn OperatorObjective`) work unchanged.
+pub fn global_rank_prepared<O: OperatorObjective + ?Sized>(
+    inputs: &RankInputs,
+    objective: &O,
+    capacity: Resources,
+    cfg: &PlannerConfig,
+) -> GlobalRank {
+    let n = inputs.app_count();
+    let fair_shares = waterfill_with_order(
+        &inputs.demand_scalars,
+        &inputs.demand_sort,
+        capacity.scalar(),
     );
-    let n = workload.app_count();
-    let demands: Vec<f64> = workload
-        .apps()
-        .map(|(_, a)| a.total_demand().scalar())
-        .collect();
-    let fair_shares = waterfill(&demands, capacity.scalar());
     let mut allocated = vec![0.0; n];
     let mut remaining = capacity.scalar();
     let mut items = Vec::new();
 
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    let entry = |app: AppId, pos: usize, allocated: &[f64]| -> Option<HeapEntry> {
-        let rank = &app_ranks[app.index()];
-        let &service = rank.get(pos)?;
-        let demand = workload.app(app).service(service).total_demand().scalar();
-        let score = objective.score(&RankContext {
-            app,
-            next_demand: demand,
-            allocated: allocated[app.index()],
-            fair_share: fair_shares[app.index()],
-            price: workload.app(app).price_per_unit(),
-            criticality: workload.app(app).criticality_of(service),
-        });
-        Some(HeapEntry { score, app, pos })
-    };
-    for app in workload.app_ids() {
-        if let Some(e) = entry(app, 0, &allocated) {
+    for app in 0..n as u32 {
+        if let Some(e) = inputs.entry(objective, &fair_shares, &allocated, AppId::new(app), 0) {
             heap.push(e);
         }
     }
 
     while let Some(HeapEntry { app, pos, .. }) = heap.pop() {
-        let rank = &app_ranks[app.index()];
-        let service = rank[pos];
-        let demand = workload.app(app).service(service).total_demand();
-        if demand.scalar() <= remaining + 1e-9 {
-            remaining -= demand.scalar();
-            allocated[app.index()] += demand.scalar();
+        let e = inputs.chains[app.index()][pos];
+        if e.scalar <= remaining + 1e-9 {
+            remaining -= e.scalar;
+            allocated[app.index()] += e.scalar;
             items.push(GlobalRankItem {
                 app,
-                service,
-                demand,
+                service: e.service,
+                demand: e.demand,
             });
-            if let Some(e) = entry(app, pos + 1, &allocated) {
+            if let Some(e) = inputs.entry(objective, &fair_shares, &allocated, app, pos + 1) {
                 heap.push(e);
             }
         } else if cfg.continue_on_saturation {
@@ -139,6 +239,108 @@ pub fn global_rank(
         }
     }
 
+    GlobalRank {
+        items,
+        fair_shares,
+        allocated,
+    }
+}
+
+/// The capacity-independent pop order of the merge heap for a
+/// [capacity-invariant](OperatorObjective::capacity_invariant) objective:
+/// every `(app, chain position)` candidate in the order the heap would
+/// consider it with unbounded capacity. Computed once per fingerprint
+/// epoch by the warm-replan cache and replayed by
+/// [`global_rank_replay`] under any capacity.
+pub fn merged_order<O: OperatorObjective + ?Sized>(
+    inputs: &RankInputs,
+    objective: &O,
+) -> Vec<(u32, u32)> {
+    debug_assert!(
+        objective.capacity_invariant(),
+        "capacity-free merge order requires a capacity-invariant objective"
+    );
+    // Fair shares are irrelevant by contract; feed ones.
+    merged_order_with(inputs, objective, &vec![1.0; inputs.app_count()])
+}
+
+/// The unbounded-capacity pop order of the merge heap under **fixed fair
+/// shares** — valid for *any* objective, including capacity-sensitive
+/// ones.
+///
+/// Sound because a candidate's score is static per `(app, position)` once
+/// the shares are fixed: `allocated` at scoring time is always the app's
+/// chain-prefix demand sum, which does not depend on capacity or on the
+/// other apps. [`global_rank_replay`] may replay this order for any round
+/// whose water-filling shares are bit-identical to `fair_shares` — the
+/// common case when total demand fits the degraded capacity, where shares
+/// equal demands regardless of the exact node count.
+pub fn merged_order_with<O: OperatorObjective + ?Sized>(
+    inputs: &RankInputs,
+    objective: &O,
+    fair_shares: &[f64],
+) -> Vec<(u32, u32)> {
+    let n = inputs.app_count();
+    let mut allocated = vec![0.0; n];
+    let mut order = Vec::with_capacity(inputs.chains.iter().map(Vec::len).sum());
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    for app in 0..n as u32 {
+        if let Some(e) = inputs.entry(objective, fair_shares, &allocated, AppId::new(app), 0) {
+            heap.push(e);
+        }
+    }
+    while let Some(HeapEntry { app, pos, .. }) = heap.pop() {
+        order.push((app.index() as u32, pos as u32));
+        allocated[app.index()] += inputs.chains[app.index()][pos].scalar;
+        if let Some(e) = inputs.entry(objective, fair_shares, &allocated, app, pos + 1) {
+            heap.push(e);
+        }
+    }
+    order
+}
+
+/// Replays a cached [`merged_order`] under a (possibly different) capacity:
+/// the warm-start path of global ranking for capacity-invariant objectives.
+///
+/// Produces output identical to [`global_rank_prepared`] with the same
+/// inputs — chains whose head no longer fits retire exactly as the heap
+/// would retire them — but does no scoring and no heap operations: one
+/// linear pass over the cached order.
+pub fn global_rank_replay(
+    inputs: &RankInputs,
+    merge_order: &[(u32, u32)],
+    capacity: Resources,
+    cfg: &PlannerConfig,
+) -> GlobalRank {
+    let n = inputs.app_count();
+    let fair_shares = waterfill_with_order(
+        &inputs.demand_scalars,
+        &inputs.demand_sort,
+        capacity.scalar(),
+    );
+    let mut allocated = vec![0.0; n];
+    let mut remaining = capacity.scalar();
+    let mut items = Vec::new();
+    let mut retired = vec![false; n];
+    for &(app, pos) in merge_order {
+        if retired[app as usize] {
+            continue;
+        }
+        let e = inputs.chains[app as usize][pos as usize];
+        if e.scalar <= remaining + 1e-9 {
+            remaining -= e.scalar;
+            allocated[app as usize] += e.scalar;
+            items.push(GlobalRankItem {
+                app: AppId::new(app),
+                service: e.service,
+                demand: e.demand,
+            });
+        } else if cfg.continue_on_saturation {
+            retired[app as usize] = true;
+        } else {
+            break;
+        }
+    }
     GlobalRank {
         items,
         fair_shares,

@@ -1,0 +1,711 @@
+//! Incremental replanning: warm-start the planner → ranking → packing
+//! pipeline across rounds.
+//!
+//! The cold pipeline ([`crate::controller::plan_with`]) recomputes
+//! everything per round: per-app activation orders, water-filling, the
+//! global-ranking heap merge, the flattened pod plan, and the packing
+//! bookkeeping. During a capacity crunch the controller replans every
+//! monitor tick, yet between ticks almost nothing about the *workload*
+//! changes — only the cluster does. [`ReplanCache`] exploits that:
+//!
+//! 1. **Rank cache** — each app's activation order
+//!    ([`crate::planner::app_rank`]) is cached under a cheap structural
+//!    [`fingerprint`](crate::spec::AppSpec::fingerprint); unchanged apps
+//!    skip the dependency-graph walk entirely.
+//! 2. **Warm global ranking** — the flattened [`RankInputs`] (demands,
+//!    tags, prices, water-filling sort order) are cached alongside. For
+//!    [capacity-invariant](crate::objectives::OperatorObjective::capacity_invariant)
+//!    objectives the heap's pop order itself is cached
+//!    ([`merged_order`]) and replayed under the new capacity with zero
+//!    scoring or heap work; capacity-sensitive objectives (fairness)
+//!    re-merge, but over the cached dense arrays. When capacity is
+//!    bit-identical to the previous round the whole [`GlobalRank`] is
+//!    reused.
+//! 3. **Warm packing** — the activation list and its `pod → rank` map are
+//!    rebuilt only when the ranking actually changed, and
+//!    [`pack_prepared`] re-homes only pods invalidated by failures or
+//!    rank changes (running pods are kept in place; the victim-deletion
+//!    bookkeeping is built lazily).
+//!
+//! **Equivalence guarantee:** a warm [`replan_with`] produces the same
+//! [`PlanResult`] — byte-identical [`ActionPlan`], target state, and
+//! packing outcome — as a cold [`plan_with`](crate::controller::plan_with)
+//! on the same inputs. Warm and
+//! cold share the same merge and packing loops, so this holds by
+//! construction; the tests below and the kubesim churn tests check it end
+//! to end.
+//!
+//! [`ActionPlan`]: crate::actions::ActionPlan
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use phoenix_cluster::packing::{pack_prepared, PlannedPod};
+use phoenix_cluster::{ClusterState, PodKey};
+
+use crate::actions::diff_from_outcome;
+use crate::controller::{PhoenixConfig, PlanResult};
+use crate::objectives::ObjectiveKind;
+use crate::planner::{app_rank, PlannerConfig};
+use crate::ranking::{
+    global_rank_prepared, global_rank_replay, merged_order, merged_order_with, GlobalRank,
+    RankInputs,
+};
+use crate::spec::{ServiceId, Workload};
+
+/// What changed since the previous round, as far as the caller knows.
+///
+/// The delta is a *hint*: a wrong hint costs performance, never
+/// correctness, except for [`ReplanDelta::CapacityOnly`] whose contract
+/// (specs unchanged) is checked in debug builds only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanDelta {
+    /// Anything may have changed; every cache layer re-validates against
+    /// app fingerprints. Always safe — this is the default.
+    #[default]
+    Full,
+    /// Only cluster capacity changed (nodes failed / recovered / were
+    /// added); application specs are the same as the previous round.
+    /// Skips the fingerprint sweep. Passing this after a spec change
+    /// loses the warm/cold equivalence guarantee (debug builds assert).
+    CapacityOnly,
+}
+
+/// Cross-round state of the incremental replanning engine.
+///
+/// Owned by [`crate::controller::PhoenixController`] (or any caller of
+/// [`replan_with`]); an empty cache makes the first round a plain cold
+/// plan that primes every layer.
+#[derive(Debug, Default)]
+pub struct ReplanCache {
+    /// Epoch inputs: valid while fingerprints match.
+    fingerprints: Vec<u64>,
+    app_ranks: Vec<Vec<ServiceId>>,
+    inputs: RankInputs,
+    merge_order: Option<Vec<(u32, u32)>>,
+    /// Share-keyed merge order for capacity-sensitive objectives: valid
+    /// for any round whose water-filling shares match bit-for-bit.
+    share_order: Option<(Vec<f64>, Vec<(u32, u32)>)>,
+    /// Shares of the previous slow-merged round; a repeat triggers the
+    /// `share_order` investment (hysteresis — crunch rounds whose shares
+    /// move every tick never pay the extra order build).
+    last_shares: Option<Vec<f64>>,
+    /// Config the epoch was built under (knob changes invalidate).
+    planner_cfg: Option<PlannerConfig>,
+    /// Built-in objective of the epoch; `None` (custom objective, whose
+    /// state this cache cannot observe) re-invalidates every round.
+    objective_kind: Option<ObjectiveKind>,
+    /// Round outputs: valid while the epoch holds and capacity matches.
+    capacity_bits: Option<(u64, u64)>,
+    rank: Option<GlobalRank>,
+    plan: Vec<PlannedPod>,
+    plan_index: PlanIndex,
+    plan_valid: bool,
+}
+
+/// Dense `pod key → plan index` table shaped like the workload: one slot
+/// per `(app, service)` holding the base plan index of the service's
+/// replica block (replicas are contiguous in the flattened plan by
+/// construction). Replaces a pods-sized hash map in the packing hot path
+/// with two array reads, and rebuilds in O(services) per round.
+#[derive(Debug, Default)]
+struct PlanIndex {
+    /// Start of each app's service slots; `len = apps + 1`.
+    app_offsets: Vec<u32>,
+    /// Per service slot: base plan index, `u32::MAX` = not planned.
+    base: Vec<u32>,
+    /// Per service slot: replicas in the plan (0 = not planned).
+    replicas: Vec<u16>,
+}
+
+const UNPLANNED: u32 = u32::MAX;
+
+impl PlanIndex {
+    /// Recomputes the slot layout from the workload shape.
+    fn reshape(&mut self, workload: &Workload) {
+        self.app_offsets.clear();
+        self.app_offsets.push(0);
+        let mut total = 0u32;
+        for (_, app) in workload.apps() {
+            total += app.service_count() as u32;
+            self.app_offsets.push(total);
+        }
+    }
+
+    /// Refills the table from an activation list (O(services)).
+    fn rebuild(&mut self, workload: &Workload, items: &[crate::ranking::GlobalRankItem]) {
+        let slots = *self.app_offsets.last().expect("reshaped") as usize;
+        self.base.clear();
+        self.base.resize(slots, UNPLANNED);
+        self.replicas.clear();
+        self.replicas.resize(slots, 0);
+        let mut next = 0u32;
+        for item in items {
+            let slot = self.app_offsets[item.app.index()] as usize + item.service.index();
+            let replicas = workload.app(item.app).service(item.service).replicas;
+            self.base[slot] = next;
+            self.replicas[slot] = replicas;
+            next += u32::from(replicas);
+        }
+    }
+
+    /// The plan position of `pod`, when planned.
+    #[inline]
+    fn get(&self, pod: PodKey) -> Option<usize> {
+        let app = pod.app as usize;
+        let lo = *self.app_offsets.get(app)? as usize;
+        let hi = *self.app_offsets.get(app + 1)? as usize;
+        let slot = lo + pod.service as usize;
+        if slot >= hi {
+            return None;
+        }
+        let base = self.base[slot];
+        if base == UNPLANNED || pod.replica >= self.replicas[slot] {
+            return None;
+        }
+        Some(base as usize + usize::from(pod.replica))
+    }
+}
+
+impl ReplanCache {
+    /// An empty cache (first replan runs cold).
+    pub fn new() -> ReplanCache {
+        ReplanCache::default()
+    }
+
+    /// Drops all cached state; the next replan runs fully cold.
+    pub fn clear(&mut self) {
+        *self = ReplanCache::default();
+    }
+
+    /// `true` when the per-app rank layer is primed.
+    pub fn is_primed(&self) -> bool {
+        self.planner_cfg.is_some()
+    }
+
+    /// Re-validates the epoch layers against the workload. Returns `true`
+    /// when anything changed (rank/merge-order caches were invalidated).
+    fn refresh_epoch(
+        &mut self,
+        workload: &Workload,
+        config: &PhoenixConfig,
+        delta: ReplanDelta,
+    ) -> bool {
+        // Objective identity is only trackable for the built-ins (unit
+        // structs that cannot drift between rounds). A custom objective
+        // could be swapped or mutated behind `config_mut` without any
+        // observable change here, so it invalidates the objective-keyed
+        // caches every round — still warm on the objective-independent
+        // layers (per-app ranks, RankInputs), but never replaying a
+        // possibly-stale merge order.
+        let objective_kind = config.objective.as_builtin();
+        let cfg_changed = self.planner_cfg != Some(config.planner)
+            || objective_kind.is_none()
+            || self.objective_kind != objective_kind;
+        let first_round = self.planner_cfg.is_none();
+        if delta == ReplanDelta::CapacityOnly && !cfg_changed && !first_round {
+            debug_assert!(
+                workload.app_count() == self.fingerprints.len()
+                    && workload
+                        .apps()
+                        .zip(&self.fingerprints)
+                        .all(|((_, a), &f)| a.fingerprint() == f),
+                "ReplanDelta::CapacityOnly passed after a spec change"
+            );
+            return false;
+        }
+        let mut ranks_changed = cfg_changed || workload.app_count() != self.fingerprints.len();
+        let traversal = config.planner.traversal;
+        let traversal_changed = self.planner_cfg.map(|c| c.traversal) != Some(traversal);
+        let mut fingerprints = Vec::with_capacity(workload.app_count());
+        let mut app_ranks = Vec::with_capacity(workload.app_count());
+        for (id, app) in workload.apps() {
+            let fp = app.fingerprint();
+            let reusable = !traversal_changed
+                && self.fingerprints.get(id.index()) == Some(&fp)
+                && id.index() < self.app_ranks.len();
+            if reusable {
+                app_ranks.push(std::mem::take(&mut self.app_ranks[id.index()]));
+            } else {
+                ranks_changed = true;
+                app_ranks.push(app_rank(app, traversal));
+            }
+            fingerprints.push(fp);
+        }
+        self.fingerprints = fingerprints;
+        self.app_ranks = app_ranks;
+        if ranks_changed {
+            self.inputs = RankInputs::new(workload, &self.app_ranks);
+            self.merge_order = None;
+            self.share_order = None;
+            self.last_shares = None;
+            self.capacity_bits = None;
+            self.rank = None;
+            self.plan_valid = false;
+            self.plan_index.reshape(workload);
+        }
+        self.planner_cfg = Some(config.planner);
+        self.objective_kind = objective_kind;
+        ranks_changed
+    }
+}
+
+/// One warm planning round: [`plan_with`]-equivalent output, reusing
+/// `cache` wherever the fingerprints, capacity, and ranking allow.
+///
+/// [`plan_with`]: crate::controller::plan_with
+pub fn replan_with(
+    workload: &Workload,
+    state: &ClusterState,
+    config: &PhoenixConfig,
+    cache: &mut ReplanCache,
+    delta: ReplanDelta,
+) -> PlanResult {
+    // --- Planner -------------------------------------------------------
+    let t0 = Instant::now();
+    cache.refresh_epoch(workload, config, delta);
+
+    let capacity = state.healthy_capacity();
+    let capacity_bits = (capacity.cpu.to_bits(), capacity.mem.to_bits());
+    let rank = if cache.capacity_bits == Some(capacity_bits) && cache.rank.is_some() {
+        // Same healthy capacity, same specs: the previous ranking stands.
+        cache.rank.clone().expect("checked above")
+    } else if config.objective.capacity_invariant() {
+        let order = cache
+            .merge_order
+            .get_or_insert_with(|| merged_order(&cache.inputs, config.objective.as_ref()));
+        global_rank_replay(&cache.inputs, order, capacity, &config.planner)
+    } else {
+        // Capacity-sensitive objectives (fairness): scores are static per
+        // chain position once the fair shares are fixed, so a cached merge
+        // order keyed by the exact share vector replays in linear time.
+        // Shares repeat whenever total demand still fits the degraded
+        // capacity (then share == demand for every app, whatever the node
+        // count), which is the common monitor-tick case.
+        let shares = cache.inputs.fair_shares(capacity.scalar());
+        let replayable = cache
+            .share_order
+            .as_ref()
+            .is_some_and(|(s, _)| *s == shares);
+        if replayable {
+            let (_, order) = cache.share_order.as_ref().expect("checked above");
+            global_rank_replay(&cache.inputs, order, capacity, &config.planner)
+        } else if cache.last_shares.as_ref() == Some(&shares) {
+            // Second consecutive round on these shares: invest in the
+            // replayable order now, amortized by the rounds that follow.
+            let order = merged_order_with(&cache.inputs, config.objective.as_ref(), &shares);
+            let rank = global_rank_replay(&cache.inputs, &order, capacity, &config.planner);
+            cache.share_order = Some((shares, order));
+            rank
+        } else {
+            let rank = match config.objective.as_builtin() {
+                // Devirtualized merge: a direct call per candidate
+                // (identical floats, no vtable hop per pod).
+                Some(ObjectiveKind::Fairness) => global_rank_prepared(
+                    &cache.inputs,
+                    &crate::objectives::FairnessObjective,
+                    capacity,
+                    &config.planner,
+                ),
+                _ => global_rank_prepared(
+                    &cache.inputs,
+                    config.objective.as_ref(),
+                    capacity,
+                    &config.planner,
+                ),
+            };
+            cache.last_shares = Some(shares);
+            rank
+        }
+    };
+
+    // Patch the flattened pod plan incrementally: activation lists between
+    // consecutive rounds share a (usually near-total) prefix, whose
+    // flattened pods and rank-map entries are identical by construction.
+    // Only the diverging tail is torn down and rebuilt.
+    let was_valid = cache.plan_valid;
+    if !was_valid {
+        cache.plan.clear();
+    }
+    let old_items: &[crate::ranking::GlobalRankItem] = if was_valid {
+        cache.rank.as_ref().map_or(&[], |r| &r.items)
+    } else {
+        &[]
+    };
+    let prefix = old_items
+        .iter()
+        .zip(&rank.items)
+        .take_while(|(a, b)| a == b)
+        .count();
+    let plan_changed = prefix != old_items.len() || prefix != rank.items.len();
+    if plan_changed {
+        let offset: usize = rank.items[..prefix]
+            .iter()
+            .map(|it| usize::from(workload.app(it.app).service(it.service).replicas))
+            .sum();
+        cache.plan.truncate(offset);
+        for item in &rank.items[prefix..] {
+            let svc = workload.app(item.app).service(item.service);
+            for replica in 0..svc.replicas {
+                let key = PodKey::new(
+                    item.app.index() as u32,
+                    item.service.index() as u32,
+                    replica,
+                );
+                cache.plan.push(PlannedPod::new(key, svc.demand));
+            }
+        }
+    }
+    if plan_changed || !was_valid {
+        // O(services): the dense lookup table re-derives from the items.
+        cache.plan_index.rebuild(workload, &rank.items);
+    }
+    cache.plan_valid = true;
+    cache.capacity_bits = Some(capacity_bits);
+    cache.rank = Some(rank.clone());
+    let planner_time = t0.elapsed();
+
+    // --- Scheduler -----------------------------------------------------
+    let t1 = Instant::now();
+    let mut target = state.clone();
+    let packing = pack_prepared(&mut target, &cache.plan, &config.packing, |p| {
+        cache.plan_index.get(p)
+    });
+    let scheduler_time = t1.elapsed();
+
+    let actions = diff_from_outcome(state, &target, &packing);
+    PlanResult {
+        target,
+        rank,
+        packing,
+        actions,
+        planner_time,
+        scheduler_time,
+    }
+}
+
+/// The Phoenix pipeline as a [`ResiliencePolicy`] that warm-starts every
+/// round from the previous one — a drop-in replacement for
+/// [`PhoenixPolicy`] in the kubesim event loop and the sweeps. Produces
+/// identical plans (see the equivalence tests); only the latency differs.
+///
+/// [`ResiliencePolicy`]: crate::policies::ResiliencePolicy
+/// [`PhoenixPolicy`]: crate::policies::PhoenixPolicy
+#[derive(Debug)]
+pub struct IncrementalPhoenixPolicy {
+    kind: ObjectiveKind,
+    config: PhoenixConfig,
+    cache: Mutex<ReplanCache>,
+}
+
+impl IncrementalPhoenixPolicy {
+    /// Warm-started `PhoenixCost`.
+    pub fn cost() -> IncrementalPhoenixPolicy {
+        IncrementalPhoenixPolicy::with_objective(ObjectiveKind::Cost)
+    }
+
+    /// Warm-started `PhoenixFair`.
+    pub fn fair() -> IncrementalPhoenixPolicy {
+        IncrementalPhoenixPolicy::with_objective(ObjectiveKind::Fairness)
+    }
+
+    /// Warm-started pipeline under any built-in objective.
+    pub fn with_objective(kind: ObjectiveKind) -> IncrementalPhoenixPolicy {
+        IncrementalPhoenixPolicy {
+            kind,
+            config: PhoenixConfig::with_objective(kind),
+            cache: Mutex::new(ReplanCache::new()),
+        }
+    }
+}
+
+impl crate::policies::ResiliencePolicy for IncrementalPhoenixPolicy {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ObjectiveKind::Cost => "PhoenixCostWarm",
+            ObjectiveKind::Fairness => "PhoenixFairWarm",
+        }
+    }
+
+    fn plan(&self, workload: &Workload, state: &ClusterState) -> crate::policies::PolicyPlan {
+        let mut cache = self.cache.lock().expect("replan cache poisoned");
+        // `Full` re-validates fingerprints: policies cannot see workload
+        // edits between calls, and the sweep is cheap next to packing.
+        let result = replan_with(workload, state, &self.config, &mut cache, ReplanDelta::Full);
+        crate::policies::PolicyPlan {
+            planning_time: result.total_time(),
+            target: result.target,
+            notes: format!(
+                "warm planner={:?} scheduler={:?} unplaced={}",
+                result.planner_time,
+                result.scheduler_time,
+                result.packing.unplaced.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::plan_with;
+    use crate::spec::{AppSpecBuilder, Workload};
+    use crate::tags::Criticality;
+    use phoenix_cluster::{NodeId, Resources};
+
+    /// A mixed workload: chained apps with graphs, a flat app, uneven
+    /// prices and replica counts.
+    fn workload(seed: u64) -> Workload {
+        let mut apps = Vec::new();
+        for a in 0..6u64 {
+            let mut b = AppSpecBuilder::new(format!("app{a}"));
+            let n = 3 + ((a + seed) % 4) as usize;
+            let ids: Vec<_> = (0..n)
+                .map(|s| {
+                    b.add_service(
+                        format!("s{s}"),
+                        Resources::cpu(1.0 + ((s as u64 + seed) % 3) as f64),
+                        Some(Criticality::new(1 + ((s as u64 * 7 + a) % 5) as u8)),
+                        1 + ((s as u64 + a) % 2) as u16,
+                    )
+                })
+                .collect();
+            if a % 2 == 0 {
+                for w in ids.windows(2) {
+                    b.add_dependency(w[0], w[1]);
+                }
+            }
+            b.price_per_unit(1.0 + (a % 3) as f64);
+            apps.push(b.build().unwrap());
+        }
+        Workload::new(apps)
+    }
+
+    fn assert_equivalent(cold: &PlanResult, warm: &PlanResult) {
+        assert_eq!(cold.actions, warm.actions, "action plans diverged");
+        assert_eq!(cold.rank.items, warm.rank.items);
+        assert_eq!(cold.rank.fair_shares, warm.rank.fair_shares);
+        assert_eq!(cold.rank.allocated, warm.rank.allocated);
+        assert_eq!(cold.packing.deletions, warm.packing.deletions);
+        assert_eq!(cold.packing.migrations, warm.packing.migrations);
+        assert_eq!(cold.packing.starts, warm.packing.starts);
+        assert_eq!(cold.packing.unplaced, warm.packing.unplaced);
+        let mut a: Vec<_> = cold.target.assignments().map(|(p, n, _)| (p, n)).collect();
+        let mut b: Vec<_> = warm.target.assignments().map(|(p, n, _)| (p, n)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "target states diverged");
+    }
+
+    /// Drives a churn scenario (progressive failures, recovery, respawn)
+    /// through warm replans and checks each round against a cold plan.
+    fn churn_equivalence(kind: ObjectiveKind, delta: ReplanDelta) {
+        let w = workload(3);
+        let config = PhoenixConfig::with_objective(kind);
+        let mut cache = ReplanCache::new();
+        let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+
+        for round in 0..6 {
+            let cold = plan_with(&w, &live, &config);
+            let warm = replan_with(&w, &live, &config, &mut cache, delta);
+            assert_equivalent(&cold, &warm);
+
+            // Apply the plan, then mutate the cluster for the next round.
+            live = warm.target.clone();
+            match round {
+                0 => {
+                    live.fail_node(NodeId::new(0));
+                }
+                1 => {
+                    live.fail_node(NodeId::new(1));
+                    live.fail_node(NodeId::new(2));
+                }
+                2 => {
+                    live.restore_node(NodeId::new(0));
+                }
+                3 => {} // steady round: capacity unchanged, full rank reuse
+                _ => {
+                    live.restore_node(NodeId::new(1));
+                    live.restore_node(NodeId::new(2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_equals_cold_under_churn_fairness() {
+        churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::Full);
+        churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::CapacityOnly);
+    }
+
+    #[test]
+    fn warm_equals_cold_under_churn_cost() {
+        churn_equivalence(ObjectiveKind::Cost, ReplanDelta::Full);
+        churn_equivalence(ObjectiveKind::Cost, ReplanDelta::CapacityOnly);
+    }
+
+    #[test]
+    fn merge_order_replay_matches_heap_at_every_capacity() {
+        // The replay path must equal the heap merge for every capacity,
+        // including degenerate ones, for capacity-invariant objectives.
+        use crate::objectives::{CostObjective, CriticalityObjective, OperatorObjective};
+        use crate::planner::Traversal;
+        use crate::ranking::{global_rank_prepared, global_rank_replay, merged_order, RankInputs};
+
+        for seed in 0..4u64 {
+            let w = workload(seed);
+            let ranks: Vec<_> = w
+                .apps()
+                .map(|(_, a)| app_rank(a, Traversal::CriticalityGuidedDfs))
+                .collect();
+            let inputs = RankInputs::new(&w, &ranks);
+            let objectives: [&dyn OperatorObjective; 2] = [&CostObjective, &CriticalityObjective];
+            for objective in objectives {
+                let order = merged_order(&inputs, objective);
+                for continue_on_saturation in [false, true] {
+                    let cfg = PlannerConfig {
+                        continue_on_saturation,
+                        ..PlannerConfig::default()
+                    };
+                    for cap in [0.0, 1.0, 3.0, 7.5, 13.0, 26.0, 1000.0] {
+                        let capacity = Resources::cpu(cap);
+                        let cold = global_rank_prepared(&inputs, objective, capacity, &cfg);
+                        let warm = global_rank_replay(&inputs, &order, capacity, &cfg);
+                        assert_eq!(cold.items, warm.items, "cap {cap}");
+                        assert_eq!(cold.allocated, warm.allocated, "cap {cap}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn share_replay_kicks_in_when_demand_fits_and_stays_equivalent() {
+        // Under-demand regime: whatever the (degraded) node count, every
+        // app's water-filling share equals its demand, so the fairness
+        // merge order is replayable. Round 1 primes, round 2 invests in
+        // the share-keyed order, rounds 3+ replay — each must still be
+        // byte-identical to a cold plan.
+        let w = workload(5);
+        let config = PhoenixConfig::with_objective(ObjectiveKind::Fairness);
+        let mut cache = ReplanCache::new();
+        let mut live = ClusterState::homogeneous(40, Resources::cpu(4.0));
+        for round in 0..5 {
+            let cold = plan_with(&w, &live, &config);
+            let warm = replan_with(&w, &live, &config, &mut cache, ReplanDelta::CapacityOnly);
+            assert_equivalent(&cold, &warm);
+            live = warm.target.clone();
+            live.fail_node(NodeId::new(round));
+        }
+        assert!(
+            cache.share_order.is_some(),
+            "share-keyed merge order never built"
+        );
+    }
+
+    #[test]
+    fn spec_change_invalidates_rank_cache() {
+        let mut w = workload(0);
+        let config = PhoenixConfig::with_objective(ObjectiveKind::Cost);
+        let live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+        let mut cache = ReplanCache::new();
+        let _ = replan_with(&w, &live, &config, &mut cache, ReplanDelta::Full);
+        assert!(cache.is_primed());
+
+        // Raise one app's price: the cost ranking must reorder.
+        let mut b = AppSpecBuilder::new("vip");
+        b.add_service("only", Resources::cpu(1.0), Some(Criticality::C1), 1);
+        b.price_per_unit(100.0);
+        w.push(b.build().unwrap());
+        let cold = plan_with(&w, &live, &config);
+        let warm = replan_with(&w, &live, &config, &mut cache, ReplanDelta::Full);
+        assert_equivalent(&cold, &warm);
+        assert_eq!(warm.rank.items[0].app.index(), 6, "new high payer first");
+    }
+
+    #[test]
+    fn same_name_custom_objective_swap_never_reuses_stale_caches() {
+        // Two distinct custom objectives sharing one `name()`: the cache
+        // cannot observe custom-objective state, so it must re-rank every
+        // round instead of replaying an order built under the old scores.
+        use crate::objectives::{OperatorObjective, RankContext};
+
+        #[derive(Debug)]
+        struct Weighted(f64);
+        impl OperatorObjective for Weighted {
+            fn score(&self, ctx: &RankContext) -> f64 {
+                ctx.price * self.0 - f64::from(ctx.criticality.level())
+            }
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+        }
+
+        let w = workload(4);
+        let live = ClusterState::homogeneous(4, Resources::cpu(3.0));
+        let mut cache = ReplanCache::new();
+        for weight in [2.0, 2.0, -3.0] {
+            let config = PhoenixConfig {
+                objective: Box::new(Weighted(weight)),
+                planner: PlannerConfig {
+                    continue_on_saturation: true,
+                    ..PlannerConfig::default()
+                },
+                packing: Default::default(),
+            };
+            let cold = plan_with(&w, &live, &config);
+            let warm = replan_with(&w, &live, &config, &mut cache, ReplanDelta::Full);
+            assert_equivalent(&cold, &warm);
+        }
+    }
+
+    #[test]
+    fn objective_swap_between_rounds_is_detected() {
+        let w = workload(1);
+        let live = ClusterState::homogeneous(4, Resources::cpu(3.0));
+        let mut cache = ReplanCache::new();
+        let fair = PhoenixConfig::with_objective(ObjectiveKind::Fairness);
+        let cost = PhoenixConfig::with_objective(ObjectiveKind::Cost);
+        let _ = replan_with(&w, &live, &fair, &mut cache, ReplanDelta::Full);
+        let warm = replan_with(&w, &live, &cost, &mut cache, ReplanDelta::Full);
+        let cold = plan_with(&w, &live, &cost);
+        assert_equivalent(&cold, &warm);
+    }
+
+    #[test]
+    fn incremental_policy_matches_cold_policy() {
+        use crate::actions::diff_states;
+        use crate::policies::{PhoenixPolicy, ResiliencePolicy};
+        let w = workload(2);
+        let warm = IncrementalPhoenixPolicy::fair();
+        assert_eq!(warm.name(), "PhoenixFairWarm");
+        assert_eq!(IncrementalPhoenixPolicy::cost().name(), "PhoenixCostWarm");
+        let cold = PhoenixPolicy::fair();
+        let mut state = ClusterState::homogeneous(6, Resources::cpu(4.0));
+        for _ in 0..3 {
+            let a = cold.plan(&w, &state);
+            let b = warm.plan(&w, &state);
+            assert_eq!(
+                diff_states(&state, &a.target),
+                diff_states(&state, &b.target)
+            );
+            state = a.target;
+            state.fail_node(NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn cache_clear_resets() {
+        let w = workload(0);
+        let config = PhoenixConfig::default();
+        let live = ClusterState::homogeneous(2, Resources::cpu(2.0));
+        let mut cache = ReplanCache::new();
+        let _ = replan_with(&w, &live, &config, &mut cache, ReplanDelta::Full);
+        assert!(cache.is_primed());
+        cache.clear();
+        assert!(!cache.is_primed());
+        let cold = plan_with(&w, &live, &config);
+        let warm = replan_with(&w, &live, &config, &mut cache, ReplanDelta::Full);
+        assert_equivalent(&cold, &warm);
+    }
+}

@@ -210,12 +210,84 @@ impl AppSpec {
         self.services.iter().map(ServiceSpec::total_demand).sum()
     }
 
+    /// A cheap structural fingerprint of everything the planner reads:
+    /// name, services (name, demand bits, tag, replicas), dependency
+    /// edges, price, and the subscription flag.
+    ///
+    /// Two specs with equal fingerprints rank identically, so warm
+    /// replanning uses this to skip [`crate::planner::app_rank`] for
+    /// unchanged applications across rounds. FNV-1a over the raw field
+    /// bytes: one linear pass, no allocation.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.name.as_bytes());
+        h.u64(self.services.len() as u64);
+        for s in &self.services {
+            h.bytes(s.name.as_bytes());
+            h.u64(s.demand.cpu.to_bits());
+            h.u64(s.demand.mem.to_bits());
+            h.u64(match s.criticality {
+                Some(c) => 1 + u64::from(c.level()),
+                None => 0,
+            });
+            h.u64(u64::from(s.replicas));
+        }
+        match &self.dependency {
+            None => h.u64(0),
+            Some(g) => {
+                h.u64(1 + g.node_count() as u64);
+                for n in g.node_ids() {
+                    h.u64(g.successors(n).len() as u64);
+                    for m in g.successors(n) {
+                        h.u64(m.index() as u64);
+                    }
+                }
+            }
+        }
+        h.u64(self.price_per_unit.to_bits());
+        h.u64(u64::from(self.phoenix_enabled));
+        h.finish()
+    }
+
     /// Demand of the subset of services at criticality `c` or more critical.
     pub fn demand_at_criticality(&self, c: Criticality) -> Resources {
         self.service_ids()
             .filter(|&s| self.criticality_of(s).is_at_least_as_critical_as(c))
             .map(|s| self.services[s.index()].total_demand())
             .sum()
+    }
+}
+
+/// FNV-1a, the classic non-cryptographic byte hash. A collision between
+/// a spec's old and new contents would silently reuse a stale cached
+/// rank (warm ≠ cold), so the 64-bit width is load-bearing: over
+/// structured, non-adversarial spec bytes the chance is negligible, and
+/// speed beats cryptographic strength.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length terminator so ("ab","c") and ("a","bc") differ.
+        self.u64(bytes.len() as u64);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -39,6 +39,7 @@ use phoenix_dgraph::NodeId as GraphNode;
 use crate::actions::{diff_states, Action, ActionPlan};
 use crate::controller::{plan_with, PhoenixConfig};
 use crate::ranking::GlobalRank;
+use crate::replan::{replan_with, ReplanCache, ReplanDelta};
 use crate::spec::{AppId, AppSpecBuilder, ServiceId, Workload};
 
 /// The set of services marked stateful, keyed by `(app, service)`.
@@ -361,8 +362,7 @@ pub fn place_stateful(
         .collect();
     pods.sort_by(|a, b| {
         b.1.scalar()
-            .partial_cmp(&a.1.scalar())
-            .expect("demands are finite")
+            .total_cmp(&a.1.scalar())
             .then_with(|| a.0.cmp(&b.0))
     });
     for (pod, demand) in pods {
@@ -394,8 +394,7 @@ fn best_fit_node(state: &ClusterState, demand: Resources) -> Option<NodeId> {
             state
                 .remaining(a)
                 .scalar()
-                .partial_cmp(&state.remaining(b).scalar())
-                .expect("capacities are finite")
+                .total_cmp(&state.remaining(b).scalar())
         })
 }
 
@@ -434,6 +433,32 @@ pub fn plan_pinned(
     marks: &StatefulMarks,
     live: &ClusterState,
     config: &PhoenixConfig,
+) -> PinnedPlan {
+    plan_pinned_impl(workload, marks, live, config, None)
+}
+
+/// [`plan_pinned`] with a warm-replan cache for the stateless half.
+///
+/// The partition is rebuilt per call (marks can change), but the stateless
+/// half's app fingerprints are stable across calls, so the per-app rank
+/// and merge-order caches hit exactly as in [`crate::replan`]. Output is
+/// identical to [`plan_pinned`] on the same inputs.
+pub fn plan_pinned_cached(
+    workload: &Workload,
+    marks: &StatefulMarks,
+    live: &ClusterState,
+    config: &PhoenixConfig,
+    cache: &mut ReplanCache,
+) -> PinnedPlan {
+    plan_pinned_impl(workload, marks, live, config, Some(cache))
+}
+
+fn plan_pinned_impl(
+    workload: &Workload,
+    marks: &StatefulMarks,
+    live: &ClusterState,
+    config: &PhoenixConfig,
+    cache: Option<&mut ReplanCache>,
 ) -> PinnedPlan {
     let part = partition(workload, marks);
 
@@ -481,8 +506,7 @@ pub fn plan_pinned(
                         pinned
                             .remaining(a)
                             .scalar()
-                            .partial_cmp(&pinned.remaining(b).scalar())
-                            .expect("capacities are finite")
+                            .total_cmp(&pinned.remaining(b).scalar())
                     });
                 match undisturbed.or_else(|| best_fit_node(&pinned, demand)) {
                     Some(node) => {
@@ -520,7 +544,10 @@ pub fn plan_pinned(
             let _ = scratch.assign(key, demand, node);
         }
     }
-    let plan = plan_with(&part.stateless, &scratch, config);
+    let plan = match cache {
+        Some(cache) => replan_with(&part.stateless, &scratch, config, cache, ReplanDelta::Full),
+        None => plan_with(&part.stateless, &scratch, config),
+    };
 
     // --- Merge: pins + planned stateless, back in original keys. --------
     let mut target = pinned;
@@ -590,12 +617,19 @@ pub fn verify_pins(plan: &ActionPlan, marks: &StatefulMarks) -> Result<(), PinVi
 pub struct StatefulAwarePolicy {
     marks: StatefulMarks,
     config: PhoenixConfig,
+    /// Warm-replan cache for the stateless half (identical plans, less
+    /// per-round work; see [`plan_pinned_cached`]).
+    cache: std::sync::Mutex<ReplanCache>,
 }
 
 impl StatefulAwarePolicy {
     /// Pins `marks` and plans the rest with `config`.
     pub fn new(marks: StatefulMarks, config: PhoenixConfig) -> StatefulAwarePolicy {
-        StatefulAwarePolicy { marks, config }
+        StatefulAwarePolicy {
+            marks,
+            config,
+            cache: std::sync::Mutex::new(ReplanCache::new()),
+        }
     }
 
     /// The pinned services.
@@ -611,7 +645,8 @@ impl crate::policies::ResiliencePolicy for StatefulAwarePolicy {
 
     fn plan(&self, workload: &Workload, state: &ClusterState) -> crate::policies::PolicyPlan {
         let t0 = std::time::Instant::now();
-        let plan = plan_pinned(workload, &self.marks, state, &self.config);
+        let mut cache = self.cache.lock().expect("replan cache poisoned");
+        let plan = plan_pinned_cached(workload, &self.marks, state, &self.config, &mut cache);
         let planning_time = t0.elapsed();
         debug_assert!(verify_pins(&plan.actions, &self.marks).is_ok());
         crate::policies::PolicyPlan {

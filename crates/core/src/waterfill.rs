@@ -26,29 +26,55 @@
 /// assert_eq!(shares, vec![10.0, 45.0, 45.0]);
 /// ```
 pub fn waterfill(demands: &[f64], capacity: f64) -> Vec<f64> {
+    waterfill_with_order(demands, &demand_order(demands), capacity)
+}
+
+/// The ascending-demand visit order water-filling uses internally.
+///
+/// The sort is stable and total (`f64::total_cmp`), so a NaN demand cannot
+/// panic the planner; NaNs sort last and receive a zero share. Warm
+/// replanning caches this order across rounds — it only depends on the
+/// demand vector, not on capacity.
+pub fn demand_order(demands: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[a].total_cmp(&demands[b]));
+    order
+}
+
+/// [`waterfill`] with a precomputed [`demand_order`] (warm-replan path).
+///
+/// `order` must be the stable ascending order of `demands` (what
+/// [`demand_order`] returns for the same vector); passing a stale order
+/// yields unspecified (but finite, non-panicking) shares.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..demands.len()`.
+pub fn waterfill_with_order(demands: &[f64], order: &[usize], capacity: f64) -> Vec<f64> {
     let n = demands.len();
+    assert_eq!(order.len(), n, "order must be a permutation of the demands");
     let mut shares = vec![0.0; n];
     if n == 0 || capacity <= 0.0 {
         return shares;
     }
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        demands[a]
-            .partial_cmp(&demands[b])
-            .expect("demands must not be NaN")
-    });
     let mut remaining = capacity;
     let mut active = n;
     for (k, &i) in order.iter().enumerate() {
+        // NaN demands compare false against the level and sort last under
+        // `total_cmp`; `max(0.0)` maps them (and negatives) to zero shares.
         let d = demands[i].max(0.0);
         let level = remaining / active as f64;
         if d <= level {
             shares[i] = d;
             remaining -= d;
         } else {
-            // Everyone still active gets the final level.
+            // Everyone still active gets the final level. The clamp is a
+            // no-op for well-formed inputs (ascending order ⇒ every
+            // remaining demand exceeds the level); it only bites for NaN
+            // demands, which sort last and must take zero, not the level.
+            let level = remaining / active as f64;
             for &j in &order[k..] {
-                shares[j] = remaining / active as f64;
+                shares[j] = level.min(demands[j].max(0.0));
             }
             return shares;
         }
@@ -118,6 +144,18 @@ mod tests {
         assert_eq!(waterfill(&[5.0], 0.0), vec![0.0]);
         assert_eq!(waterfill(&[0.0, 10.0], 4.0), vec![0.0, 4.0]);
         assert_eq!(waterfill(&[-3.0, 10.0], 4.0), vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn nan_demand_degrades_deterministically() {
+        // A NaN demand must not panic the planner mid-incident: it sorts
+        // last under `total_cmp`, clamps to a zero share, and leaves the
+        // well-formed apps' shares intact.
+        let s = waterfill(&[10.0, f64::NAN, 50.0], 30.0);
+        assert_eq!(s[0], 10.0);
+        assert_eq!(s[1], 0.0);
+        assert!(s[2] > 0.0 && s[2] <= 50.0);
+        assert!(s.iter().sum::<f64>() <= 30.0 + 1e-9);
     }
 
     #[test]

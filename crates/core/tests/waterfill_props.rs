@@ -1,10 +1,73 @@
-//! Property tests for water-filling fair shares and deviation metrics.
+//! Property tests for water-filling fair shares and deviation metrics,
+//! including adversarial demand vectors (negative, zero, and duplicate
+//! demands) and the cached-order warm-replan path.
 
-use phoenix_core::waterfill::{fair_share_deviation, waterfill};
+use phoenix_core::waterfill::{
+    demand_order, fair_share_deviation, waterfill, waterfill_with_order,
+};
 use proptest::prelude::*;
+
+/// Demand vectors with deliberate degenerate values: negatives, zeros, and
+/// exact duplicates (every other entry is quantized onto a coarse grid so
+/// collisions and zeros are common).
+fn arb_demands() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-15.0f64..100.0, 0..12).prop_map(|mut v| {
+        for (i, d) in v.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *d = (*d / 20.0).round() * 20.0;
+            }
+        }
+        v
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `sum ≤ capacity` (equality under saturation), `share ≤
+    /// max(demand, 0)`, non-negative shares — on degenerate inputs too.
+    #[test]
+    fn degenerate_demands_stay_bounded(
+        demands in arb_demands(),
+        capacity in -10.0f64..500.0,
+    ) {
+        let shares = waterfill(&demands, capacity);
+        prop_assert_eq!(shares.len(), demands.len());
+        let total: f64 = shares.iter().sum();
+        prop_assert!(total <= capacity.max(0.0) + 1e-9, "total {} > cap {}", total, capacity);
+        for (share, demand) in shares.iter().zip(&demands) {
+            prop_assert!(*share >= 0.0, "negative share {}", share);
+            prop_assert!(*share <= demand.max(0.0) + 1e-9, "share {} > demand {}", share, demand);
+        }
+        let total_demand: f64 = demands.iter().map(|d| d.max(0.0)).sum();
+        if capacity > 0.0 && total_demand >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-9, "under-used: {} of {}", total, capacity);
+        }
+    }
+
+    /// Growing capacity never shrinks anyone's share.
+    #[test]
+    fn monotone_in_capacity(
+        demands in arb_demands(),
+        lo in 0.0f64..200.0,
+        extra in 0.0f64..200.0,
+    ) {
+        let small = waterfill(&demands, lo);
+        let large = waterfill(&demands, lo + extra);
+        for (i, (s, l)) in small.iter().zip(&large).enumerate() {
+            prop_assert!(l + 1e-9 >= *s, "app {}: share shrank {} -> {}", i, s, l);
+        }
+    }
+
+    /// The cached-order path (warm replanning) matches the cold path
+    /// bit-for-bit on every input.
+    #[test]
+    fn with_order_matches_cold(demands in arb_demands(), capacity in -10.0f64..500.0) {
+        let order = demand_order(&demands);
+        let cold = waterfill(&demands, capacity);
+        let warm = waterfill_with_order(&demands, &order, capacity);
+        prop_assert_eq!(cold, warm);
+    }
 
     #[test]
     fn waterfill_axioms(

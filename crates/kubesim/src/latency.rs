@@ -128,8 +128,8 @@ mod tests {
             .collect();
         assert!(samples.iter().all(|&s| (5.0..=60.0).contains(&s)));
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = sorted[sorted.len() / 2];
+        sorted.sort_by(f64::total_cmp);
+        let median = phoenix_core::stats::percentile(&sorted, 0.5);
         assert!((median - 20.0).abs() < 3.0, "median {median}");
     }
 

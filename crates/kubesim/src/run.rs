@@ -526,6 +526,45 @@ mod tests {
     }
 
     #[test]
+    fn warm_replanning_policy_matches_cold_phoenix_over_churn() {
+        use phoenix_core::replan::IncrementalPhoenixPolicy;
+        // A churn scenario: staggered failures, partial recovery, a second
+        // failure wave. The warm-started controller must produce the same
+        // simulation — identical serving samples and milestones — as the
+        // cold pipeline; only planning latency may differ.
+        let mut apps = Vec::new();
+        for (name, price) in [("alpha", 3.0), ("beta", 1.0), ("gamma", 2.0)] {
+            let mut b = AppSpecBuilder::new(name);
+            let fe = b.add_service("fe", Resources::cpu(1.0), Some(Criticality::C1), 2);
+            let mid = b.add_service("mid", Resources::cpu(1.0), Some(Criticality::C2), 1);
+            let opt = b.add_service("opt", Resources::cpu(1.0), Some(Criticality::C5), 1);
+            b.add_dependency(fe, mid);
+            b.add_dependency(mid, opt);
+            b.price_per_unit(price);
+            apps.push(b.build().unwrap());
+        }
+        let w = Workload::new(apps);
+        let mut s = Scenario::new(6, Resources::cpu(3.0));
+        s.kubelet_stop_at(SimTime::from_secs(200), [0, 1]);
+        s.kubelet_stop_at(SimTime::from_secs(600), [2]);
+        s.kubelet_start_at(SimTime::from_secs(900), [0]);
+        s.kubelet_stop_at(SimTime::from_secs(1200), [3]);
+        s.kubelet_start_at(SimTime::from_secs(1500), [1, 2, 3]);
+        let cfg = SimConfig::default();
+        let horizon = SimTime::from_secs(1800);
+        for (cold, warm) in [
+            (PhoenixPolicy::fair(), IncrementalPhoenixPolicy::fair()),
+            (PhoenixPolicy::cost(), IncrementalPhoenixPolicy::cost()),
+        ] {
+            let a = simulate(&w, &cold, &s, &cfg, horizon);
+            let b = simulate(&w, &warm, &s, &cfg, horizon);
+            assert_eq!(a.samples, b.samples, "{} diverged", cold.name());
+            assert_eq!(a.milestones, b.milestones, "{} diverged", cold.name());
+            assert_eq!(a.plans.len(), b.plans.len());
+        }
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let w = workload();
         let s = failure_scenario();

@@ -238,11 +238,7 @@ fn node_limit_keeps_incumbent() {
 /// LP relaxation of knapsack).
 fn fractional_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        (values[b] / weights[b])
-            .partial_cmp(&(values[a] / weights[a]))
-            .unwrap()
-    });
+    idx.sort_by(|&a, &b| (values[b] / weights[b]).total_cmp(&(values[a] / weights[a])));
     let mut rem = cap;
     let mut total = 0.0;
     for i in idx {
