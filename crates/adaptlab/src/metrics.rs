@@ -32,6 +32,21 @@ pub struct SchemeMetrics {
     pub plan_secs: f64,
 }
 
+impl SchemeMetrics {
+    /// Bitwise equality on every *result* field, ignoring the one
+    /// wall-clock field (`plan_secs`) that is never reproducible. The
+    /// thread-count-invariance test and the fig8b seq/par equivalence
+    /// assertion both go through here, so adding a metric field keeps
+    /// them in lockstep.
+    pub fn same_results(&self, other: &SchemeMetrics) -> bool {
+        self.availability.to_bits() == other.availability.to_bits()
+            && self.revenue.to_bits() == other.revenue.to_bits()
+            && self.fairness_pos.to_bits() == other.fairness_pos.to_bits()
+            && self.fairness_neg.to_bits() == other.fairness_neg.to_bits()
+            && self.utilization.to_bits() == other.utilization.to_bits()
+    }
+}
+
 /// Is service `(app, service)` fully active (all replicas placed)?
 pub fn service_active(
     workload: &Workload,

@@ -3,9 +3,17 @@
 //! For each failure level, fail a random node subset of the baseline
 //! environment, let every policy replan, and score the target states.
 //! Results are averaged over trials with distinct seeds (the paper uses 5).
+//!
+//! Trials are fully independent — each builds its own environment from
+//! its own seed — so [`failure_sweep`] fans them out across the
+//! [`phoenix_exec`] pool and reduces the per-trial metric grids strictly
+//! in trial order. The averaged output is **byte-identical for every
+//! thread count** (see the tests; wall-clock `plan_secs` is the one
+//! field that is never reproducible, threaded or not).
 
 use phoenix_cluster::failure::{fail_fraction, fail_zones};
 use phoenix_core::policies::ResiliencePolicy;
+use phoenix_exec::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,6 +31,17 @@ pub struct SweepPoint {
     pub failure_frac: f64,
     /// Metrics averaged across trials.
     pub metrics: SchemeMetrics,
+}
+
+impl SweepPoint {
+    /// Bitwise equality on everything except wall-clock planning time
+    /// (see [`SchemeMetrics::same_results`]): the form of "identical"
+    /// that thread counts are required to preserve.
+    pub fn same_results(&self, other: &SweepPoint) -> bool {
+        self.policy == other.policy
+            && self.failure_frac.to_bits() == other.failure_frac.to_bits()
+            && self.metrics.same_results(&other.metrics)
+    }
 }
 
 /// How victims are chosen at each failure level.
@@ -45,9 +64,19 @@ pub struct SweepConfig {
     /// Failure levels to test (e.g. `[0.1, 0.2, …, 0.9]`).
     pub failure_fracs: Vec<f64>,
     /// Number of independent trials (seeds); the paper averages 5.
-    pub trials: u64,
+    /// `0` is clamped to one trial.
+    pub trials: u32,
     /// Victim selection model.
     pub failure_model: FailureModel,
+}
+
+impl SweepConfig {
+    /// The effective trial count: `trials` clamped to at least one, as
+    /// `usize`. Every consumer (loop bound, seed offset, averaging
+    /// divisor) derives from this single clamp.
+    pub fn effective_trials(&self) -> usize {
+        self.trials.max(1) as usize
+    }
 }
 
 impl Default for SweepConfig {
@@ -61,53 +90,87 @@ impl Default for SweepConfig {
 }
 
 /// Runs the sweep; returns one [`SweepPoint`] per `(policy, level)`,
-/// policies varying fastest.
+/// policies varying fastest. Trials fan out across the
+/// [global pool](phoenix_exec::global) (`PHOENIX_THREADS`); see
+/// [`failure_sweep_on`] to pin a pool explicitly.
 pub fn failure_sweep(
     env_cfg: &EnvConfig,
     sweep: &SweepConfig,
     policies: &[Box<dyn ResiliencePolicy>],
 ) -> Vec<SweepPoint> {
+    failure_sweep_on(env_cfg, sweep, policies, phoenix_exec::global())
+}
+
+/// One trial's metric grid: exactly one [`SchemeMetrics`] per
+/// `(failure level, policy)` cell.
+fn sweep_trial(
+    env_cfg: &EnvConfig,
+    sweep: &SweepConfig,
+    policies: &[Box<dyn ResiliencePolicy>],
+    trial: usize,
+) -> Vec<SchemeMetrics> {
+    let mut cfg = env_cfg.clone();
+    cfg.seed = env_cfg.seed.wrapping_add(trial as u64);
+    let env = build_env(&cfg);
+    let baseline_revenue = revenue(&env.workload, &env.baseline);
+    let mut grid = Vec::with_capacity(sweep.failure_fracs.len() * policies.len());
+
+    for (fi, &frac) in sweep.failure_fracs.iter().enumerate() {
+        let mut failed = env.baseline.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(fi as u64));
+        match sweep.failure_model {
+            FailureModel::Random => {
+                fail_fraction(&mut failed, frac, &mut rng);
+            }
+            FailureModel::Zoned { zones } => {
+                fail_zones(&mut failed, zones.max(1), frac, &mut rng);
+            }
+        }
+
+        for policy in policies {
+            let plan = policy.plan(&env.workload, &failed);
+            grid.push(evaluate(
+                &env.workload,
+                &plan.target,
+                baseline_revenue,
+                plan.planning_time.as_secs_f64(),
+            ));
+        }
+    }
+    grid
+}
+
+/// [`failure_sweep`] on an explicit [`Pool`].
+///
+/// Each trial is seeded independently and runs on its own environment,
+/// so the only cross-trial step is the accumulation — which always folds
+/// the per-trial grids in trial order, reproducing the sequential
+/// accumulation bit for bit.
+pub fn failure_sweep_on(
+    env_cfg: &EnvConfig,
+    sweep: &SweepConfig,
+    policies: &[Box<dyn ResiliencePolicy>],
+    pool: &Pool,
+) -> Vec<SweepPoint> {
     let cells = sweep.failure_fracs.len() * policies.len();
+    let trials = sweep.effective_trials();
+    let grids = pool.par_map_range_chunked(trials, 1, |trial| {
+        sweep_trial(env_cfg, sweep, policies, trial)
+    });
+
     let mut acc: Vec<SchemeMetrics> = vec![SchemeMetrics::default(); cells];
-
-    for trial in 0..sweep.trials.max(1) {
-        let mut cfg = env_cfg.clone();
-        cfg.seed = env_cfg.seed.wrapping_add(trial);
-        let env = build_env(&cfg);
-        let baseline_revenue = revenue(&env.workload, &env.baseline);
-
-        for (fi, &frac) in sweep.failure_fracs.iter().enumerate() {
-            let mut failed = env.baseline.clone();
-            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(fi as u64));
-            match sweep.failure_model {
-                FailureModel::Random => {
-                    fail_fraction(&mut failed, frac, &mut rng);
-                }
-                FailureModel::Zoned { zones } => {
-                    fail_zones(&mut failed, zones.max(1), frac, &mut rng);
-                }
-            }
-
-            for (pi, policy) in policies.iter().enumerate() {
-                let plan = policy.plan(&env.workload, &failed);
-                let m = evaluate(
-                    &env.workload,
-                    &plan.target,
-                    baseline_revenue,
-                    plan.planning_time.as_secs_f64(),
-                );
-                let cell = &mut acc[fi * policies.len() + pi];
-                cell.availability += m.availability;
-                cell.revenue += m.revenue;
-                cell.fairness_pos += m.fairness_pos;
-                cell.fairness_neg += m.fairness_neg;
-                cell.utilization += m.utilization;
-                cell.plan_secs += m.plan_secs;
-            }
+    for grid in grids {
+        for (cell, m) in acc.iter_mut().zip(grid) {
+            cell.availability += m.availability;
+            cell.revenue += m.revenue;
+            cell.fairness_pos += m.fairness_pos;
+            cell.fairness_neg += m.fairness_neg;
+            cell.utilization += m.utilization;
+            cell.plan_secs += m.plan_secs;
         }
     }
 
-    let t = sweep.trials.max(1) as f64;
+    let t = trials as f64;
     sweep
         .failure_fracs
         .iter()
@@ -274,6 +337,47 @@ mod tests {
             .availability;
         let dfl = point(&points, "Default", 0.5).unwrap().metrics.availability;
         assert!(phx >= dfl, "zoned: {phx} < {dfl}");
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        // Everything except wall-clock plan_secs must be byte-identical
+        // between a sequential and an oversubscribed parallel run.
+        let cfg = SweepConfig {
+            failure_fracs: vec![0.2, 0.6],
+            trials: 3,
+            ..SweepConfig::default()
+        };
+        let seq = failure_sweep_on(&quick_env(), &cfg, &roster(), &Pool::sequential());
+        let par = failure_sweep_on(&quick_env(), &cfg, &roster(), &Pool::new(4));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(
+                a.same_results(b),
+                "{} @ {}: {:?} vs {:?}",
+                a.policy,
+                a.failure_frac,
+                a.metrics,
+                b.metrics
+            );
+        }
+    }
+
+    #[test]
+    fn zero_trials_clamps_to_one() {
+        let cfg = SweepConfig {
+            failure_fracs: vec![0.5],
+            trials: 0,
+            ..SweepConfig::default()
+        };
+        assert_eq!(cfg.effective_trials(), 1);
+        let points = failure_sweep(
+            &quick_env(),
+            &cfg,
+            &[Box::new(PhoenixPolicy::fair()) as Box<dyn ResiliencePolicy>],
+        );
+        assert_eq!(points.len(), 1);
+        assert!(points[0].metrics.availability.is_finite());
     }
 
     #[test]

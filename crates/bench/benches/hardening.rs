@@ -1,7 +1,7 @@
 //! Criterion bench: overheads of the hardening layers — pinned stateful
 //! planning vs. the plain pipeline, and log-based criticality inference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::inference::{infer_tags, synthesize_log, InferenceConfig, LogConfig};
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
@@ -71,4 +71,9 @@ fn bench_inference(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pinned_planning, bench_inference);
-criterion_main!(benches);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use phoenix_cluster::{ClusterState, Resources};
 use phoenix_core::policies::{LpPolicy, ResiliencePolicy};
 use phoenix_core::spec::{AppSpecBuilder, Workload};
@@ -43,4 +43,9 @@ fn bench_lp(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_lp);
-criterion_main!(benches);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

@@ -1,7 +1,7 @@
 //! Criterion bench: the Algorithm-2 packing heuristic under the three fit
 //! strategies (ablation for the scheduler's packing efficiency, Fig. 8c).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use phoenix_cluster::packing::{pack, FitStrategy, PackingConfig, PlannedPod};
 use phoenix_cluster::{ClusterState, PodKey, Resources};
 use rand::rngs::StdRng;
@@ -50,4 +50,9 @@ fn bench_packing(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_packing);
-criterion_main!(benches);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

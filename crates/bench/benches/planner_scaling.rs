@@ -1,7 +1,7 @@
 //! Criterion bench: Phoenix end-to-end planning latency vs. cluster size
 //! (the microbenchmark behind Fig. 8b's Phoenix curves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::scenario::{build_env, AdaptLabEnv, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
@@ -45,4 +45,9 @@ fn bench_planner(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_planner);
-criterion_main!(benches);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

@@ -10,7 +10,7 @@
 //! order, flattened plan) warm-start. Warm/cold action-plan equality is
 //! asserted inside the scenario builder before timing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use phoenix_bench::replan_scenario::{converge_and_degrade, replan_env};
 use phoenix_core::controller::{plan_with, PhoenixConfig};
 use phoenix_core::objectives::ObjectiveKind;
@@ -63,4 +63,9 @@ fn bench_replan(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_replan);
-criterion_main!(benches);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

@@ -15,7 +15,7 @@
 use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, f3, Table};
+use phoenix_bench::{arg, f3, init_threads, Table};
 use phoenix_cluster::failure::fail_fraction;
 use phoenix_core::audit::{audit_workload, blast_radius, AuditConfig};
 use phoenix_core::controller::PhoenixConfig;
@@ -41,6 +41,7 @@ fn objective_config(label: &str) -> PhoenixConfig {
 }
 
 fn main() {
+    init_threads();
     let nodes: usize = arg("nodes", 1_000);
     let inflator = AppId::new(arg("inflator", 4u32));
     let env = build_env(&EnvConfig {

@@ -19,7 +19,7 @@ use phoenix_adaptlab::metrics::service_active;
 use phoenix_apps::catalog::AppModel;
 use phoenix_apps::instances::{cloudlab_capacities, cloudlab_workload};
 use phoenix_apps::shedding::{shed, summarize, OverloadScenario, QosPolicy, SheddingPolicy};
-use phoenix_bench::{arg, f3, Table};
+use phoenix_bench::{arg, f3, init_threads, Table};
 use phoenix_cluster::ClusterState;
 use phoenix_core::policies::{PhoenixPolicy, ResiliencePolicy};
 use phoenix_core::spec::{ServiceId, Workload};
@@ -46,6 +46,7 @@ fn capacity_rps(workload: &Workload, state: &ClusterState, app: usize, model: &A
 }
 
 fn main() {
+    init_threads();
     let multiplier: f64 = arg("load", 2.0);
     let (workload, models) = cloudlab_workload();
     let mut baseline = ClusterState::new(cloudlab_capacities());

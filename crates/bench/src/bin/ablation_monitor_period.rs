@@ -13,7 +13,7 @@
 //! ```
 
 use phoenix_apps::instances::{cloudlab_workload, NODES, NODE_CPUS};
-use phoenix_bench::{arg, Table};
+use phoenix_bench::{arg, init_threads, Table};
 use phoenix_cluster::Resources;
 use phoenix_core::policies::PhoenixPolicy;
 use phoenix_kubesim::run::{simulate, SimConfig};
@@ -34,6 +34,7 @@ fn scenario(seed: u64) -> Scenario {
 }
 
 fn main() {
+    init_threads();
     let (workload, _) = cloudlab_workload();
     let horizon = SimTime::from_secs(2100);
     let seed = arg("seed", 6u64);

@@ -18,7 +18,7 @@ use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::metrics::critical_service_availability;
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, f3, Table};
+use phoenix_bench::{arg, f3, init_threads, Table};
 use phoenix_cluster::failure::fail_fraction;
 use phoenix_core::controller::{plan_with, PhoenixConfig};
 use phoenix_core::spec::Workload;
@@ -59,6 +59,7 @@ fn mark_heaviest(workload: &Workload, share: f64) -> StatefulMarks {
 }
 
 fn main() {
+    init_threads();
     let nodes: usize = arg("nodes", 1_000);
     let env = build_env(&EnvConfig {
         nodes,

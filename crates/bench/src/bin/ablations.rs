@@ -9,7 +9,7 @@ use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::metrics::{evaluate, revenue};
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, f3, secs, Table};
+use phoenix_bench::{arg, f3, init_threads, secs, Table};
 use phoenix_cluster::failure::fail_fraction;
 use phoenix_cluster::packing::{FitStrategy, PackingConfig};
 use phoenix_core::planner::{PlannerConfig, Traversal};
@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    init_threads();
     let nodes: usize = arg("nodes", 1_000);
     // Long-tailed pod sizes on small nodes make fragmentation real, so the
     // packing and ordering knobs actually move the metrics.

@@ -1,0 +1,196 @@
+//! Determinism probe: emits every class of parallelised output — cold
+//! plans, warm replans over a churn scenario, a kubesim node-failure
+//! run, a multi-trial AdaptLab sweep, and a chaos audit — with all
+//! wall-clock fields stripped.
+//!
+//! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
+//! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
+//! nondeterminism introduced into the `phoenix-exec` fan-outs shows up
+//! as a diff here before it can corrupt a paper figure. `--threads N`
+//! overrides the environment variable.
+
+use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::resources::ResourceModel;
+use phoenix_adaptlab::runner::{failure_sweep, SweepConfig};
+use phoenix_adaptlab::scenario::EnvConfig;
+use phoenix_adaptlab::tagging::TaggingScheme;
+use phoenix_apps::hotel::{hotel, HotelVariant};
+use phoenix_apps::overleaf::{overleaf, OverleafVariant};
+use phoenix_bench::init_threads;
+use phoenix_chaos::node_chaos::{node_chaos, NodeChaosConfig};
+use phoenix_chaos::{audit_tags, ChaosConfig};
+use phoenix_cluster::{ClusterState, NodeId, Resources};
+use phoenix_core::controller::{PhoenixConfig, PhoenixController};
+use phoenix_core::objectives::ObjectiveKind;
+use phoenix_core::policies::standard_roster;
+use phoenix_core::replan::ReplanDelta;
+use phoenix_core::spec::{AppSpecBuilder, Workload};
+use phoenix_core::tags::Criticality;
+
+/// A deterministic mixed workload (graphs, flat apps, uneven replicas).
+fn churn_workload() -> Workload {
+    let mut apps = Vec::new();
+    for a in 0..6u64 {
+        let mut b = AppSpecBuilder::new(format!("app{a}"));
+        let n = 3 + (a % 4) as usize;
+        let ids: Vec<_> = (0..n)
+            .map(|s| {
+                b.add_service(
+                    format!("s{s}"),
+                    Resources::cpu(1.0 + ((s as u64) % 3) as f64),
+                    Some(Criticality::new(1 + ((s as u64 * 7 + a) % 5) as u8)),
+                    1 + ((s as u64 + a) % 2) as u16,
+                )
+            })
+            .collect();
+        if a % 2 == 0 {
+            for w in ids.windows(2) {
+                b.add_dependency(w[0], w[1]);
+            }
+        }
+        b.price_per_unit(1.0 + (a % 3) as f64);
+        apps.push(b.build().expect("valid probe spec"));
+    }
+    Workload::new(apps)
+}
+
+/// Cold + warm churn rounds: prints the action plan and activation list
+/// of every round (both go through the pooled app-rank / fingerprint
+/// paths).
+fn probe_churn() {
+    for kind in [ObjectiveKind::Fairness, ObjectiveKind::Cost] {
+        let mut controller =
+            PhoenixController::new(churn_workload(), PhoenixConfig::with_objective(kind));
+        let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+        for round in 0..6 {
+            let result = controller.replan(&live, ReplanDelta::Full);
+            let (d, m, s) = result.actions.counts();
+            println!("churn {kind:?} round {round}: actions d={d} m={m} s={s}");
+            for item in &result.rank.items {
+                println!(
+                    "  rank app={} svc={} demand={}",
+                    item.app.index(),
+                    item.service.index(),
+                    item.demand.scalar()
+                );
+            }
+            let mut placed: Vec<_> = result
+                .target
+                .assignments()
+                .map(|(p, n, _)| (p, n.index()))
+                .collect();
+            placed.sort_unstable();
+            for (pod, node) in placed {
+                println!("  pod {pod} -> node {node}");
+            }
+            live = result.target.clone();
+            match round {
+                0 => {
+                    live.fail_node(NodeId::new(0));
+                }
+                1 => {
+                    live.fail_node(NodeId::new(1));
+                    live.fail_node(NodeId::new(2));
+                }
+                2 => {
+                    live.restore_node(NodeId::new(0));
+                }
+                _ => {
+                    live.restore_node(NodeId::new(1));
+                }
+            }
+        }
+    }
+}
+
+/// Kubesim node-failure sweep (the chaos crate's simulated control
+/// plane) — every field here is simulated time, not wall-clock.
+fn probe_kubesim() {
+    let model = overleaf("overleaf", OverleafVariant::Edits, 1.0);
+    for policy in standard_roster() {
+        let outcomes = node_chaos(&model, policy.as_ref(), &NodeChaosConfig::default());
+        for o in outcomes {
+            println!(
+                "kubesim {} frac={:.2} utility={} recovered={} restore={:?}",
+                policy.name(),
+                o.failure_frac,
+                o.settled_utility.to_bits(),
+                o.critical_recovered,
+                o.critical_restore_after,
+            );
+        }
+    }
+}
+
+/// Multi-trial AdaptLab failure sweep; `plan_secs` (wall-clock) is the
+/// one field deliberately omitted.
+fn probe_sweep() {
+    let env = EnvConfig {
+        nodes: 40,
+        node_capacity: 64.0,
+        target_utilization: 0.7,
+        resource_model: ResourceModel::CallsPerMinute,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            apps: 5,
+            max_services: 80,
+            max_requests: 40_000.0,
+            ..AlibabaConfig::default()
+        },
+        seed: 3,
+    };
+    let sweep = SweepConfig {
+        failure_fracs: vec![0.1, 0.5, 0.8],
+        trials: 3,
+        ..SweepConfig::default()
+    };
+    for p in failure_sweep(&env, &sweep, &standard_roster()) {
+        println!(
+            "sweep {} frac={:.1} avail={} rev={} fair+={} fair-={} util={}",
+            p.policy,
+            p.failure_frac,
+            p.metrics.availability.to_bits(),
+            p.metrics.revenue.to_bits(),
+            p.metrics.fairness_pos.to_bits(),
+            p.metrics.fairness_neg.to_bits(),
+            p.metrics.utilization.to_bits(),
+        );
+    }
+}
+
+/// Chaos tag audits for both reference applications.
+fn probe_audit() {
+    for model in [
+        overleaf("overleaf", OverleafVariant::Edits, 1.0),
+        hotel("hr", HotelVariant::Reserve, 1.0),
+    ] {
+        let report = audit_tags(&model, &ChaosConfig::default());
+        for d in &report.degrees {
+            println!(
+                "audit {} degree={:.2} retained={} utility={} killed={:?}",
+                report.app,
+                d.degree,
+                d.critical_retained,
+                d.utility_score.to_bits(),
+                d.killed,
+            );
+        }
+        for v in &report.violations {
+            println!(
+                "audit {} violation svc={} tag={} breaks={}",
+                report.app, v.service, v.tag, v.broken_request
+            );
+        }
+    }
+}
+
+fn main() {
+    let threads = init_threads();
+    // The thread count itself must NOT be printed into the diffed body —
+    // report it on stderr only.
+    eprintln!("determinism probe on {threads} thread(s)");
+    probe_churn();
+    probe_kubesim();
+    probe_sweep();
+    probe_audit();
+}

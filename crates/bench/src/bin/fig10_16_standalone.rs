@@ -11,12 +11,13 @@ use phoenix_adaptlab::resources::ResourceModel;
 use phoenix_adaptlab::runner::{failure_sweep, point, SweepConfig};
 use phoenix_adaptlab::scenario::EnvConfig;
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, f3, Table};
+use phoenix_bench::{arg, f3, init_threads, Table};
 use phoenix_core::policies::standard_roster;
 
 fn main() {
+    init_threads();
     let nodes: usize = arg("nodes", 1_000);
-    let trials: u64 = arg("trials", 2);
+    let trials: u32 = arg("trials", 2);
     let fracs = vec![0.1, 0.5, 0.9];
 
     let schemes = [

@@ -4,20 +4,24 @@
 //!
 //! Defaults run a 2 000-node cluster with 3 trials (minutes on one core);
 //! `--full` switches to the paper's 100 000 nodes with 5 trials, and
-//! `--nodes N` / `--trials N` override directly.
+//! `--nodes N` / `--trials N` override directly. Trials fan out across
+//! the deterministic `phoenix-exec` pool — `--threads N` (or
+//! `PHOENIX_THREADS`) sets the worker count without changing a single
+//! output byte.
 
 use phoenix_adaptlab::alibaba::AlibabaConfig;
 use phoenix_adaptlab::resources::ResourceModel;
 use phoenix_adaptlab::runner::{failure_sweep, point, SweepConfig};
 use phoenix_adaptlab::scenario::EnvConfig;
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, f3, flag, Table};
+use phoenix_bench::{arg, f3, flag, init_threads, Table};
 use phoenix_core::policies::standard_roster;
 
 fn main() {
+    let threads = init_threads();
     let full = flag("full");
     let nodes: usize = arg("nodes", if full { 100_000 } else { 2_000 });
-    let trials: u64 = arg("trials", if full { 5 } else { 3 });
+    let trials: u32 = arg("trials", if full { 5 } else { 3 });
     let env = EnvConfig {
         nodes,
         node_capacity: 64.0,
@@ -28,7 +32,7 @@ fn main() {
         seed: arg("seed", 42),
     };
     println!(
-        "AdaptLab: {nodes} nodes × {} cap, Service-Level-P90 + CPM, {trials} trials",
+        "AdaptLab: {nodes} nodes × {} cap, Service-Level-P90 + CPM, {trials} trials, {threads} threads",
         env.node_capacity
     );
     let sweep = SweepConfig {

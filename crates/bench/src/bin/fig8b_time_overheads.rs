@@ -13,18 +13,26 @@
 //! `BENCH_planner.json` format documented in the README): one row per
 //! `(nodes, objective)` with min-of-N cold and warm round times and the
 //! speedup, after asserting the two produce identical action plans.
+//! Schema v2 additionally records, per row, the *parallel* cold plan
+//! (`cold_par_ms`, per-app ranking fanned out on the `phoenix-exec`
+//! pool) and, per cluster size, a sequential-vs-parallel multi-trial
+//! AdaptLab sweep (`sweep_rows`) — after asserting the parallel runs are
+//! byte-identical to the sequential ones. `--threads N` (or
+//! `PHOENIX_THREADS`) sets the pool size; v1 fields are unchanged.
 
 use std::time::{Duration, Instant};
 
 use phoenix_adaptlab::alibaba::AlibabaConfig;
+use phoenix_adaptlab::runner::{failure_sweep_on, SweepConfig, SweepPoint};
 use phoenix_adaptlab::scenario::{build_env, EnvConfig};
 use phoenix_adaptlab::tagging::TaggingScheme;
-use phoenix_bench::{arg, flag, replan_scenario, secs, Table};
+use phoenix_bench::{arg, flag, init_threads, replan_scenario, secs, Table};
 use phoenix_cluster::failure::fail_fraction;
-use phoenix_core::controller::{plan_with, PhoenixConfig};
+use phoenix_core::controller::{plan_with_pool, PhoenixConfig};
 use phoenix_core::objectives::ObjectiveKind;
 use phoenix_core::policies::{DefaultPolicy, LpPolicy, PhoenixPolicy, ResiliencePolicy};
 use phoenix_core::replan::ReplanDelta;
+use phoenix_exec::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,24 +41,39 @@ struct ReplanRow {
     nodes: usize,
     objective: ObjectiveKind,
     cold: Duration,
+    cold_par: Duration,
     warm: Duration,
 }
 
-/// Min-of-N cold rounds vs. min-of-N warm rounds on the shared
-/// monitor-tick scenario (converged cluster, alternating one/two failed
-/// nodes), with the warm/cold action plans asserted equal first inside
+/// One sequential-vs-parallel sweep measurement for the JSON file.
+struct SweepRow {
+    nodes: usize,
+    trials: u32,
+    seq: Duration,
+    par: Duration,
+}
+
+/// Min-of-N cold rounds (sequential and on the global pool) vs. min-of-N
+/// warm rounds on the shared monitor-tick scenario (converged cluster,
+/// alternating one/two failed nodes), with the warm/cold action plans
+/// asserted equal first inside
 /// [`replan_scenario::converge_and_degrade`].
 fn measure_replan(env: &phoenix_adaptlab::scenario::AdaptLabEnv, kind: ObjectiveKind) -> ReplanRow {
     let (mut controller, failed_a, failed_b) = replan_scenario::converge_and_degrade(env, kind);
     let cfg = PhoenixConfig::with_objective(kind);
+    let sequential = Pool::sequential();
     let rounds = 6;
     let mut cold = Duration::MAX;
+    let mut cold_par = Duration::MAX;
     let mut warm = Duration::MAX;
     for i in 0..rounds {
         let state = if i % 2 == 0 { &failed_a } else { &failed_b };
         let t = Instant::now();
-        let _ = plan_with(&env.workload, state, &cfg);
+        let _ = plan_with_pool(&env.workload, state, &cfg, &sequential);
         cold = cold.min(t.elapsed());
+        let t = Instant::now();
+        let _ = plan_with_pool(&env.workload, state, &cfg, phoenix_exec::global());
+        cold_par = cold_par.min(t.elapsed());
         let t = Instant::now();
         let _ = controller.replan(state, ReplanDelta::CapacityOnly);
         warm = warm.min(t.elapsed());
@@ -59,28 +82,113 @@ fn measure_replan(env: &phoenix_adaptlab::scenario::AdaptLabEnv, kind: Objective
         nodes: env.baseline.node_count(),
         objective: kind,
         cold,
+        cold_par,
         warm,
     }
 }
 
-fn write_json(path: &str, scale: &str, rows: &[ReplanRow]) {
+/// Asserts two sweep runs agree on everything but wall-clock timings
+/// ([`SweepPoint::same_results`]).
+fn assert_sweeps_equal(seq: &[SweepPoint], par: &[SweepPoint]) {
+    assert_eq!(seq.len(), par.len(), "sweep shapes diverged");
+    for (a, b) in seq.iter().zip(par) {
+        assert!(
+            a.same_results(b),
+            "seq/par sweep divergence at {} {}",
+            a.policy,
+            a.failure_frac
+        );
+    }
+}
+
+/// Times one multi-trial AdaptLab failure sweep sequentially and on the
+/// global pool, asserting the two outputs byte-identical first.
+fn measure_sweep(nodes: usize, trials: u32, seed: u64) -> SweepRow {
+    let env = EnvConfig {
+        nodes,
+        node_capacity: 64.0,
+        target_utilization: 0.75,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            max_services: (nodes * 3).min(3000),
+            ..AlibabaConfig::default()
+        },
+        seed,
+        ..EnvConfig::default()
+    };
+    let sweep = SweepConfig {
+        failure_fracs: vec![0.2, 0.5, 0.8],
+        trials,
+        ..SweepConfig::default()
+    };
+    let roster: Vec<Box<dyn ResiliencePolicy>> = vec![
+        Box::new(PhoenixPolicy::cost()),
+        Box::new(PhoenixPolicy::fair()),
+    ];
+
+    // `with_sequential` pins the *whole* call tree (inner `plan_with`
+    // included) to the calling thread; pinning only the trial pool
+    // would still let each trial's planner fan out on the global pool
+    // and mislabel the baseline.
+    let t = Instant::now();
+    let seq_points = phoenix_exec::with_sequential(|| {
+        failure_sweep_on(&env, &sweep, &roster, &Pool::sequential())
+    });
+    let seq = t.elapsed();
+    let t = Instant::now();
+    let par_points = failure_sweep_on(&env, &sweep, &roster, phoenix_exec::global());
+    let par = t.elapsed();
+    assert_sweeps_equal(&seq_points, &par_points);
+    SweepRow {
+        nodes,
+        trials,
+        seq,
+        par,
+    }
+}
+
+fn write_json(path: &str, scale: &str, threads: usize, rows: &[ReplanRow], sweeps: &[SweepRow]) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"planner_replan\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     out.push_str("  \"equivalence_checked\": true,\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let cold_ms = r.cold.as_secs_f64() * 1e3;
+        let cold_par_ms = r.cold_par.as_secs_f64() * 1e3;
         let warm_ms = r.warm.as_secs_f64() * 1e3;
         out.push_str(&format!(
-            "    {{\"nodes\": {}, \"objective\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"nodes\": {}, \"objective\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}, \"cold_par_ms\": {:.3}, \"cold_par_speedup\": {:.2}}}{}\n",
             r.nodes,
             r.objective,
             cold_ms,
             warm_ms,
             cold_ms / warm_ms,
+            cold_par_ms,
+            cold_ms / cold_par_ms,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sweep_rows\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        let seq_ms = s.seq.as_secs_f64() * 1e3;
+        let par_ms = s.par.as_secs_f64() * 1e3;
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"trials\": {}, \"threads\": {}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            s.nodes,
+            s.trials,
+            threads,
+            seq_ms,
+            par_ms,
+            seq_ms / par_ms,
+            if i + 1 < sweeps.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -89,6 +197,7 @@ fn write_json(path: &str, scale: &str, rows: &[ReplanRow]) {
 }
 
 fn main() {
+    let threads = init_threads();
     let smoke = flag("smoke");
     let mut sizes = if smoke {
         vec![100usize]
@@ -100,9 +209,12 @@ fn main() {
     }
     let lp_secs = arg("lp-secs", 60u64);
     let lp_max_nodes: usize = if smoke { 0 } else { arg("lp-max-nodes", 1_000) };
+    let sweep_trials: u32 = arg("sweep-trials", if smoke { 2 } else { 3 });
     let json_path: String = arg("json", String::new());
+    println!("phoenix-exec pool: {threads} threads");
 
     let mut replan_rows: Vec<ReplanRow> = Vec::new();
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
     let mut table = Table::new(["nodes", "scheme", "plan time", "notes"]);
     for &nodes in &sizes {
         // Scale the trace down for small clusters so the fill succeeds.
@@ -148,16 +260,17 @@ fn main() {
             ]);
         }
 
-        // Cold vs. warm incremental replanning (monitor-tick scenario).
+        // Cold vs. warm incremental replanning (monitor-tick scenario),
+        // plus the data-parallel cold path on the global pool.
         for kind in [ObjectiveKind::Cost, ObjectiveKind::Fairness] {
             let row = measure_replan(&env, kind);
-            let label = match kind {
-                ObjectiveKind::Cost => "PhoenixCost-warm",
-                ObjectiveKind::Fairness => "PhoenixFair-warm",
+            let (warm_label, par_label) = match kind {
+                ObjectiveKind::Cost => ("PhoenixCost-warm", "PhoenixCost-par"),
+                ObjectiveKind::Fairness => ("PhoenixFair-warm", "PhoenixFair-par"),
             };
             table.row([
                 nodes.to_string(),
-                label.to_string(),
+                warm_label.to_string(),
                 secs(row.warm.as_secs_f64()),
                 format!(
                     "cold {} -> {:.1}x faster",
@@ -165,8 +278,33 @@ fn main() {
                     row.cold.as_secs_f64() / row.warm.as_secs_f64()
                 ),
             ]);
+            table.row([
+                nodes.to_string(),
+                par_label.to_string(),
+                secs(row.cold_par.as_secs_f64()),
+                format!(
+                    "cold x{threads} threads -> {:.1}x faster",
+                    row.cold.as_secs_f64() / row.cold_par.as_secs_f64()
+                ),
+            ]);
             replan_rows.push(row);
         }
+
+        // Sequential vs. parallel multi-trial failure sweep (byte-equal
+        // outputs asserted inside).
+        let sw = measure_sweep(nodes, sweep_trials, 5);
+        table.row([
+            nodes.to_string(),
+            "Sweep-par".to_string(),
+            secs(sw.par.as_secs_f64()),
+            format!(
+                "{} trials, seq {} -> {:.1}x faster",
+                sw.trials,
+                secs(sw.seq.as_secs_f64()),
+                sw.seq.as_secs_f64() / sw.par.as_secs_f64()
+            ),
+        ]);
+        sweep_rows.push(sw);
 
         // The LP baselines run on a parallel small-app environment — the
         // paper's own setup ("even with applications with less than 20
@@ -230,6 +368,6 @@ fn main() {
         } else {
             "laptop"
         };
-        write_json(&json_path, scale, &replan_rows);
+        write_json(&json_path, scale, threads, &replan_rows, &sweep_rows);
     }
 }

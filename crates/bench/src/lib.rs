@@ -135,6 +135,28 @@ pub mod replan_scenario {
     }
 }
 
+/// Applies the standard `--threads N` flag to the global
+/// [`phoenix_exec`] pool and returns the effective worker count.
+///
+/// Call this first thing in a bench binary's `main` (before any planning
+/// work touches the pool). Without the flag the pool falls back to
+/// `PHOENIX_THREADS`, then to the available parallelism; `--threads 1`
+/// (or `0`) forces the strictly sequential path. Results are
+/// byte-identical either way — the flag only moves wall-clock.
+pub fn init_threads() -> usize {
+    // Sentinel = flag absent; an explicit `--threads 0` must mean
+    // sequential (same as PHOENIX_THREADS=0), not "use the default".
+    let requested: usize = arg("threads", usize::MAX);
+    if requested != usize::MAX && !phoenix_exec::set_global_threads(requested) {
+        eprintln!(
+            "warning: --threads {requested} ignored (the global pool was already \
+             initialised with {} worker(s))",
+            phoenix_exec::global().threads()
+        );
+    }
+    phoenix_exec::global().threads()
+}
+
 /// `true` when `--name` appears on the command line.
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))

@@ -35,6 +35,7 @@ pub mod node_chaos;
 use phoenix_apps::AppModel;
 use phoenix_core::spec::ServiceId;
 use phoenix_core::tags::Criticality;
+use phoenix_exec::Pool;
 
 /// Chaos-audit configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,7 +125,20 @@ fn utility_score(model: &AppModel, up: impl Fn(ServiceId) -> bool) -> f64 {
 }
 
 /// Runs the full audit: a degree sweep plus a single-service fault pass.
+/// Injected-failure evaluations fan out across the
+/// [global pool](phoenix_exec::global) (`PHOENIX_THREADS`); see
+/// [`audit_tags_on`] to pin a pool explicitly.
 pub fn audit_tags(model: &AppModel, config: &ChaosConfig) -> ChaosReport {
+    audit_tags_on(model, config, phoenix_exec::global())
+}
+
+/// [`audit_tags`] on an explicit [`Pool`].
+///
+/// Each injected failure (one degree of shedding, or one single-service
+/// kill) is evaluated independently against the immutable model; results
+/// are collected in configuration order, so the report is byte-identical
+/// for every thread count.
+pub fn audit_tags_on(model: &AppModel, config: &ChaosConfig, pool: &Pool) -> ChaosReport {
     let sheddable: Vec<ServiceId> = shedding_order(model)
         .into_iter()
         .filter(|&s| {
@@ -138,26 +152,21 @@ pub fn audit_tags(model: &AppModel, config: &ChaosConfig) -> ChaosReport {
         .collect();
 
     // Degree sweep: kill the least-critical prefix.
-    let degrees = config
-        .degrees
-        .iter()
-        .map(|&degree| {
-            let k = ((sheddable.len() as f64) * degree.clamp(0.0, 1.0)).round() as usize;
-            let killed: Vec<ServiceId> = sheddable.iter().copied().take(k).collect();
-            let up = |s: ServiceId| !killed.contains(&s);
-            DegreeReport {
-                degree,
-                critical_retained: model.critical_goal_met(up),
-                utility_score: utility_score(model, up),
-                killed,
-            }
-        })
-        .collect();
+    let degrees = pool.par_map(&config.degrees, |&degree| {
+        let k = ((sheddable.len() as f64) * degree.clamp(0.0, 1.0)).round() as usize;
+        let killed: Vec<ServiceId> = sheddable.iter().copied().take(k).collect();
+        let up = |s: ServiceId| !killed.contains(&s);
+        DegreeReport {
+            degree,
+            critical_retained: model.critical_goal_met(up),
+            utility_score: utility_score(model, up),
+            killed,
+        }
+    });
 
     // Single-service audit: each sheddable service alone must be safe.
-    let violations = sheddable
-        .iter()
-        .filter_map(|&victim| {
+    let violations = pool
+        .par_map(&sheddable, |&victim| {
             let up = |s: ServiceId| s != victim;
             if model.critical_goal_met(up) {
                 None
@@ -169,6 +178,8 @@ pub fn audit_tags(model: &AppModel, config: &ChaosConfig) -> ChaosReport {
                 })
             }
         })
+        .into_iter()
+        .flatten()
         .collect();
 
     ChaosReport {
@@ -242,6 +253,21 @@ mod tests {
         assert!(d0.killed.is_empty());
         assert!(d0.critical_retained);
         assert!((d0.utility_score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audit_is_thread_count_invariant() {
+        // Degree sweep and single-service fault pass must produce the
+        // same report (ChaosReport: PartialEq over every field) whether
+        // evaluated sequentially or fanned out.
+        for model in [
+            overleaf("o", OverleafVariant::Edits, 1.0),
+            hotel("hr", HotelVariant::Reserve, 1.0),
+        ] {
+            let seq = audit_tags_on(&model, &ChaosConfig::default(), &Pool::sequential());
+            let par = audit_tags_on(&model, &ChaosConfig::default(), &Pool::new(4));
+            assert_eq!(seq, par, "{}", model.spec.name());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use phoenix_apps::AppModel;
 use phoenix_cluster::Resources;
 use phoenix_core::policies::ResiliencePolicy;
 use phoenix_core::spec::{ServiceId, Workload};
+use phoenix_exec::Pool;
 use phoenix_kubesim::run::{simulate, SimConfig};
 use phoenix_kubesim::scenario::Scenario;
 use phoenix_kubesim::time::SimTime;
@@ -64,68 +65,77 @@ pub struct NodeChaosOutcome {
     pub critical_restore_after: Option<SimTime>,
 }
 
-/// Runs the degree sweep for `model` under `policy`.
+/// Runs the degree sweep for `model` under `policy`. Degrees fan out
+/// across the [global pool](phoenix_exec::global) (`PHOENIX_THREADS`);
+/// see [`node_chaos_on`] to pin a pool explicitly.
 pub fn node_chaos(
     model: &AppModel,
     policy: &dyn ResiliencePolicy,
     config: &NodeChaosConfig,
 ) -> Vec<NodeChaosOutcome> {
-    let workload = Workload::new(vec![model.spec.clone()]);
-    config
-        .failure_fracs
-        .iter()
-        .map(|&frac| {
-            let mut scenario = Scenario::new(config.nodes, config.node_capacity);
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut victims: Vec<u32> = (0..config.nodes as u32).collect();
-            victims.shuffle(&mut rng);
-            victims.truncate(((config.nodes as f64) * frac).round() as usize);
-            scenario.kubelet_stop_at(config.fail_at, victims);
-            let trace = simulate(
-                &workload,
-                policy,
-                &scenario,
-                &SimConfig::default(),
-                config.horizon,
-            );
+    node_chaos_on(model, policy, config, phoenix_exec::global())
+}
 
-            let up_at =
-                |t: SimTime, s: ServiceId| trace.service_up(&workload, 0, s.index() as u32, t);
-            // Critical restoration: first sample after the failure where the
-            // critical goal holds again.
-            let critical_restore = trace
-                .samples
-                .iter()
-                .filter(|smp| smp.at > config.fail_at)
-                .find(|smp| model.critical_goal_met(|s| up_at(smp.at, s)))
-                .map(|smp| smp.at);
-            // Settled harvest: utility at the final sample.
-            let settled_utility = trace
-                .samples
-                .last()
-                .map(|smp| {
-                    let outcomes = model.outcomes(|s| up_at(smp.at, s));
-                    let harvested: f64 = outcomes.iter().map(|o| o.served_rps * o.utility).sum();
-                    let offered: f64 = model
-                        .requests
-                        .iter()
-                        .map(|r| r.rate_rps * r.utility_full)
-                        .sum();
-                    if offered > 0.0 {
-                        harvested / offered
-                    } else {
-                        0.0
-                    }
-                })
-                .unwrap_or(0.0);
-            NodeChaosOutcome {
-                failure_frac: frac,
-                settled_utility,
-                critical_recovered: critical_restore.is_some(),
-                critical_restore_after: critical_restore.map(|t| t.saturating_sub(config.fail_at)),
-            }
-        })
-        .collect()
+/// [`node_chaos`] on an explicit [`Pool`]: each failure degree runs its
+/// own seeded simulation, and outcomes are collected in degree order, so
+/// the sweep is byte-identical for every thread count.
+pub fn node_chaos_on(
+    model: &AppModel,
+    policy: &dyn ResiliencePolicy,
+    config: &NodeChaosConfig,
+    pool: &Pool,
+) -> Vec<NodeChaosOutcome> {
+    let workload = Workload::new(vec![model.spec.clone()]);
+    pool.par_map(&config.failure_fracs, |&frac| {
+        let mut scenario = Scenario::new(config.nodes, config.node_capacity);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut victims: Vec<u32> = (0..config.nodes as u32).collect();
+        victims.shuffle(&mut rng);
+        victims.truncate(((config.nodes as f64) * frac).round() as usize);
+        scenario.kubelet_stop_at(config.fail_at, victims);
+        let trace = simulate(
+            &workload,
+            policy,
+            &scenario,
+            &SimConfig::default(),
+            config.horizon,
+        );
+
+        let up_at = |t: SimTime, s: ServiceId| trace.service_up(&workload, 0, s.index() as u32, t);
+        // Critical restoration: first sample after the failure where the
+        // critical goal holds again.
+        let critical_restore = trace
+            .samples
+            .iter()
+            .filter(|smp| smp.at > config.fail_at)
+            .find(|smp| model.critical_goal_met(|s| up_at(smp.at, s)))
+            .map(|smp| smp.at);
+        // Settled harvest: utility at the final sample.
+        let settled_utility = trace
+            .samples
+            .last()
+            .map(|smp| {
+                let outcomes = model.outcomes(|s| up_at(smp.at, s));
+                let harvested: f64 = outcomes.iter().map(|o| o.served_rps * o.utility).sum();
+                let offered: f64 = model
+                    .requests
+                    .iter()
+                    .map(|r| r.rate_rps * r.utility_full)
+                    .sum();
+                if offered > 0.0 {
+                    harvested / offered
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0);
+        NodeChaosOutcome {
+            failure_frac: frac,
+            settled_utility,
+            critical_recovered: critical_restore.is_some(),
+            critical_restore_after: critical_restore.map(|t| t.saturating_sub(config.fail_at)),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -173,6 +183,14 @@ mod tests {
         let dfl = node_chaos(&m, &DefaultPolicy, &cfg());
         assert!(phx[1].settled_utility >= dfl[1].settled_utility - 1e-9);
         assert!(phx[1].critical_recovered || !dfl[1].critical_recovered);
+    }
+
+    #[test]
+    fn node_chaos_is_thread_count_invariant() {
+        let m = overleaf("o", OverleafVariant::Edits, 1.0);
+        let seq = node_chaos_on(&m, &PhoenixPolicy::fair(), &cfg(), &Pool::sequential());
+        let par = node_chaos_on(&m, &PhoenixPolicy::fair(), &cfg(), &Pool::new(4));
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -5,13 +5,14 @@ use std::time::{Duration, Instant};
 
 use phoenix_cluster::packing::{pack, PackOutcome, PackingConfig, PlannedPod};
 use phoenix_cluster::ClusterState;
+use phoenix_exec::Pool;
 
 use crate::actions::{diff_states, ActionPlan};
 use crate::objectives::{ObjectiveKind, OperatorObjective};
 use crate::planner::{app_rank, PlannerConfig};
 use crate::ranking::{global_rank, GlobalRank};
 use crate::replan::{replan_with, ReplanCache, ReplanDelta};
-use crate::spec::Workload;
+use crate::spec::{AppSpec, ServiceId, Workload};
 
 /// Controller configuration: objective + planner + packing knobs.
 #[derive(Debug)]
@@ -133,14 +134,32 @@ impl PhoenixController {
 
 /// The controller pipeline as a free function over borrowed inputs —
 /// policies and sweeps call this directly so multi-million-pod workloads
-/// are never cloned per planning round.
+/// are never cloned per planning round. Runs on the
+/// [global pool](phoenix_exec::global) (`PHOENIX_THREADS`); see
+/// [`plan_with_pool`] to pin a pool explicitly.
 pub fn plan_with(workload: &Workload, state: &ClusterState, config: &PhoenixConfig) -> PlanResult {
+    plan_with_pool(workload, state, config, phoenix_exec::global())
+}
+
+/// [`plan_with`] on an explicit [`Pool`].
+///
+/// The per-app priority-estimation walks ([`app_rank`]) fan out across
+/// the pool — they read disjoint [`AppSpec`]s and meet again in app-id
+/// order — while the global-ranking heap merge and packing stay
+/// sequential, so the output is **byte-identical for every thread
+/// count** (see the thread-invariance tests below and in
+/// [`crate::replan`]).
+pub fn plan_with_pool(
+    workload: &Workload,
+    state: &ClusterState,
+    config: &PhoenixConfig,
+    pool: &Pool,
+) -> PlanResult {
     // --- Planner -------------------------------------------------------
     let t0 = Instant::now();
-    let app_ranks: Vec<_> = workload
-        .apps()
-        .map(|(_, a)| app_rank(a, config.planner.traversal))
-        .collect();
+    let specs: Vec<&AppSpec> = workload.apps().map(|(_, a)| a).collect();
+    let app_ranks: Vec<Vec<ServiceId>> =
+        pool.par_map(&specs, |app| app_rank(app, config.planner.traversal));
     let capacity = state.healthy_capacity();
     let rank = global_rank(
         workload,
@@ -282,6 +301,23 @@ mod tests {
         c.invalidate_cache();
         let cold_again = c.replan(&state, ReplanDelta::Full);
         assert_eq!(cold_again.actions, warm.actions);
+    }
+
+    #[test]
+    fn cold_plan_is_thread_count_invariant() {
+        let w = workload();
+        let config = PhoenixConfig::default();
+        let mut state = ClusterState::homogeneous(3, Resources::cpu(2.0));
+        state.fail_node(NodeId::new(2));
+        let seq = plan_with_pool(&w, &state, &config, &Pool::sequential());
+        for threads in [2, 4, 9] {
+            let par = plan_with_pool(&w, &state, &config, &Pool::new(threads));
+            assert_eq!(seq.actions, par.actions, "threads = {threads}");
+            assert_eq!(seq.rank.items, par.rank.items);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&seq.rank.fair_shares), bits(&par.rank.fair_shares));
+            assert_eq!(bits(&seq.rank.allocated), bits(&par.rank.allocated));
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::time::Instant;
 
 use phoenix_cluster::packing::{pack_prepared, PlannedPod};
 use phoenix_cluster::{ClusterState, PodKey};
+use phoenix_exec::Pool;
 
 use crate::actions::diff_from_outcome;
 use crate::controller::{PhoenixConfig, PlanResult};
@@ -51,7 +52,7 @@ use crate::ranking::{
     global_rank_prepared, global_rank_replay, merged_order, merged_order_with, GlobalRank,
     RankInputs,
 };
-use crate::spec::{ServiceId, Workload};
+use crate::spec::{AppSpec, ServiceId, Workload};
 
 /// What changed since the previous round, as far as the caller knows.
 ///
@@ -185,11 +186,16 @@ impl ReplanCache {
 
     /// Re-validates the epoch layers against the workload. Returns `true`
     /// when anything changed (rank/merge-order caches were invalidated).
+    ///
+    /// The fingerprint sweep and any invalidated [`app_rank`] walks fan
+    /// out over `pool`; both meet again in app-id order, so the cache
+    /// contents are thread-count-invariant.
     fn refresh_epoch(
         &mut self,
         workload: &Workload,
         config: &PhoenixConfig,
         delta: ReplanDelta,
+        pool: &Pool,
     ) -> bool {
         // Objective identity is only trackable for the built-ins (unit
         // structs that cannot drift between rounds). A custom objective
@@ -217,20 +223,28 @@ impl ReplanCache {
         let mut ranks_changed = cfg_changed || workload.app_count() != self.fingerprints.len();
         let traversal = config.planner.traversal;
         let traversal_changed = self.planner_cfg.map(|c| c.traversal) != Some(traversal);
-        let mut fingerprints = Vec::with_capacity(workload.app_count());
-        let mut app_ranks = Vec::with_capacity(workload.app_count());
-        for (id, app) in workload.apps() {
-            let fp = app.fingerprint();
+        let specs: Vec<&AppSpec> = workload.apps().map(|(_, a)| a).collect();
+        // Parallel fingerprint re-validation sweep (disjoint reads, met
+        // again in app-id order).
+        let fingerprints: Vec<u64> = pool.par_map(&specs, |app| app.fingerprint());
+        let mut app_ranks: Vec<Vec<ServiceId>> = Vec::with_capacity(specs.len());
+        let mut invalidated: Vec<usize> = Vec::new();
+        for (i, fp) in fingerprints.iter().enumerate() {
             let reusable = !traversal_changed
-                && self.fingerprints.get(id.index()) == Some(&fp)
-                && id.index() < self.app_ranks.len();
+                && self.fingerprints.get(i) == Some(fp)
+                && i < self.app_ranks.len();
             if reusable {
-                app_ranks.push(std::mem::take(&mut self.app_ranks[id.index()]));
+                app_ranks.push(std::mem::take(&mut self.app_ranks[i]));
             } else {
                 ranks_changed = true;
-                app_ranks.push(app_rank(app, traversal));
+                invalidated.push(i);
+                app_ranks.push(Vec::new());
             }
-            fingerprints.push(fp);
+        }
+        // Re-walk only the invalidated apps, in parallel.
+        let fresh = pool.par_map(&invalidated, |&i| app_rank(specs[i], traversal));
+        for (&i, rank) in invalidated.iter().zip(fresh) {
+            app_ranks[i] = rank;
         }
         self.fingerprints = fingerprints;
         self.app_ranks = app_ranks;
@@ -251,7 +265,9 @@ impl ReplanCache {
 }
 
 /// One warm planning round: [`plan_with`]-equivalent output, reusing
-/// `cache` wherever the fingerprints, capacity, and ranking allow.
+/// `cache` wherever the fingerprints, capacity, and ranking allow. Runs
+/// on the [global pool](phoenix_exec::global) (`PHOENIX_THREADS`); see
+/// [`replan_with_pool`] to pin a pool explicitly.
 ///
 /// [`plan_with`]: crate::controller::plan_with
 pub fn replan_with(
@@ -261,9 +277,32 @@ pub fn replan_with(
     cache: &mut ReplanCache,
     delta: ReplanDelta,
 ) -> PlanResult {
+    replan_with_pool(
+        workload,
+        state,
+        config,
+        cache,
+        delta,
+        phoenix_exec::global(),
+    )
+}
+
+/// [`replan_with`] on an explicit [`Pool`]: the fingerprint sweep and
+/// invalidated per-app rank walks fan out; the merge, packing, and every
+/// cache decision stay sequential, so warm output remains byte-identical
+/// to a cold [`plan_with`](crate::controller::plan_with) for every
+/// thread count.
+pub fn replan_with_pool(
+    workload: &Workload,
+    state: &ClusterState,
+    config: &PhoenixConfig,
+    cache: &mut ReplanCache,
+    delta: ReplanDelta,
+    pool: &Pool,
+) -> PlanResult {
     // --- Planner -------------------------------------------------------
     let t0 = Instant::now();
-    cache.refresh_epoch(workload, config, delta);
+    cache.refresh_epoch(workload, config, delta, pool);
 
     let capacity = state.healthy_capacity();
     let capacity_bits = (capacity.cpu.to_bits(), capacity.mem.to_bits());
@@ -448,7 +487,7 @@ impl crate::policies::ResiliencePolicy for IncrementalPhoenixPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::plan_with;
+    use crate::controller::{plan_with, plan_with_pool};
     use crate::spec::{AppSpecBuilder, Workload};
     use crate::tags::Criticality;
     use phoenix_cluster::{NodeId, Resources};
@@ -498,16 +537,25 @@ mod tests {
     }
 
     /// Drives a churn scenario (progressive failures, recovery, respawn)
-    /// through warm replans and checks each round against a cold plan.
+    /// through warm replans and checks each round against a cold plan —
+    /// for threads ∈ {1, 4}: the cold reference always runs strictly
+    /// sequentially, the warm path on the pool under test, so the check
+    /// covers both warm/cold and parallel/sequential equivalence.
     fn churn_equivalence(kind: ObjectiveKind, delta: ReplanDelta) {
+        for threads in [1, 4] {
+            churn_equivalence_on(kind, delta, &Pool::new(threads));
+        }
+    }
+
+    fn churn_equivalence_on(kind: ObjectiveKind, delta: ReplanDelta, pool: &Pool) {
         let w = workload(3);
         let config = PhoenixConfig::with_objective(kind);
         let mut cache = ReplanCache::new();
         let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
 
         for round in 0..6 {
-            let cold = plan_with(&w, &live, &config);
-            let warm = replan_with(&w, &live, &config, &mut cache, delta);
+            let cold = plan_with_pool(&w, &live, &config, &Pool::sequential());
+            let warm = replan_with_pool(&w, &live, &config, &mut cache, delta, pool);
             assert_equivalent(&cold, &warm);
 
             // Apply the plan, then mutate the cluster for the next round.
@@ -601,6 +649,27 @@ mod tests {
             cache.share_order.is_some(),
             "share-keyed merge order never built"
         );
+    }
+
+    #[test]
+    fn parallel_fingerprint_sweep_matches_sequential_after_spec_change() {
+        // Push one new app between rounds: the sweep must re-validate on
+        // the pool, re-walk only the invalidated app, and still produce
+        // a plan byte-identical to a strictly sequential cold plan.
+        let mut w = workload(0);
+        let config = PhoenixConfig::with_objective(ObjectiveKind::Cost);
+        let live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+        let par = Pool::new(4);
+        let mut cache = ReplanCache::new();
+        let _ = replan_with_pool(&w, &live, &config, &mut cache, ReplanDelta::Full, &par);
+
+        let mut b = AppSpecBuilder::new("vip");
+        b.add_service("only", Resources::cpu(1.0), Some(Criticality::C1), 1);
+        b.price_per_unit(100.0);
+        w.push(b.build().unwrap());
+        let cold = plan_with_pool(&w, &live, &config, &Pool::sequential());
+        let warm = replan_with_pool(&w, &live, &config, &mut cache, ReplanDelta::Full, &par);
+        assert_equivalent(&cold, &warm);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Deterministic data-parallel execution substrate.
+//!
+//! Phoenix's reaction time during a capacity crunch is bounded by its
+//! planner, and the evaluation loop (multi-trial sweeps, chaos audits)
+//! is bounded by how many independent trials fit in wall-clock. Both are
+//! embarrassingly parallel *per item* — per-app graph walks, per-trial
+//! sweeps, per-degree injections — but every consumer in this workspace
+//! also promises **bit-for-bit reproducible output under any seed**, so
+//! naive parallelism (reduce-in-completion-order, shared accumulators)
+//! is off the table.
+//!
+//! This crate provides the one primitive the rest of the stack builds
+//! on: a scoped thread [`Pool`] whose [`par_map`](Pool::par_map) /
+//! [`par_fold`](Pool::par_fold) are **byte-identical to the sequential
+//! fold by construction**:
+//!
+//! * the input is split into contiguous index chunks;
+//! * workers claim chunks from an atomic cursor and write each chunk's
+//!   results into its own index-ordered slot (never a shared
+//!   accumulator);
+//! * the reduction always walks the slots in input order on the calling
+//!   thread.
+//!
+//! Because the mapped closure runs exactly once per item and the fold
+//! consumes results in input order, the only thing threads change is
+//! *when* each item is computed — never what is computed, nor the order
+//! anything is combined. `PHOENIX_THREADS=1` and `PHOENIX_THREADS=64`
+//! produce the same bytes.
+//!
+//! # The global pool
+//!
+//! [`global()`] returns a process-wide pool initialised from the
+//! `PHOENIX_THREADS` environment variable:
+//!
+//! | `PHOENIX_THREADS` | behaviour |
+//! |-------------------|-----------|
+//! | unset / unparseable | one worker per available CPU |
+//! | `0` or `1` | strictly sequential — no threads are ever spawned |
+//! | `N` | `N` workers |
+//!
+//! Binaries can override the variable before first use with
+//! [`set_global_threads`] (the bench bins' `--threads` flag).
+//!
+//! # Nested fan-out
+//!
+//! A `par_*` call made from inside a pool worker (any pool's) runs
+//! sequentially on that worker: the outer fan-out already owns the
+//! cores, so nesting would only multiply threads (N trial workers × N
+//! planner workers) without adding parallelism. Benches that need a
+//! *genuinely* sequential baseline wrap the measurement in
+//! [`with_sequential`], which applies the same suppression to the
+//! calling thread. Both are pure scheduling decisions — the bytes never
+//! change.
+//!
+//! # Panics
+//!
+//! A panic in the mapped closure propagates to the caller (the scope
+//! joins every worker, then resumes the first panic); it never deadlocks
+//! the pool. Workers that did not panic finish their current chunk.
+//!
+//! # Examples
+//!
+//! ```
+//! use phoenix_exec::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Ordered reduction: identical to the sequential fold, bit for bit.
+//! let sum = pool.par_fold(&[1.0f64, 2.5, 3.25], |&x| x * 2.0, 0.0, |a, b| a + b);
+//! assert_eq!(sum.to_bits(), (1.0f64 * 2.0 + 2.5 * 2.0 + 3.25 * 2.0).to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// `true` inside a pool worker or a [`with_sequential`] scope: any
+    /// nested `par_*` call on this thread takes the sequential path.
+    /// Nested fan-out would multiply thread counts (N trial workers ×
+    /// N planner workers) without adding usable parallelism — the outer
+    /// fan-out already owns every core — and the sequential path is
+    /// byte-identical anyway.
+    static SEQUENTIAL_CONTEXT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with every `par_*` call on this thread (and in anything it
+/// calls) forced onto the sequential path — pool workers spawned inside
+/// the scope are never created, so the whole call tree stays on the
+/// calling thread.
+///
+/// This is how the benches measure a *genuinely* sequential baseline:
+/// pinning `Pool::sequential()` at one layer is not enough when a lower
+/// layer fans out on the [global](global()) pool.
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SEQUENTIAL_CONTEXT.set(self.0);
+        }
+    }
+    let _restore = Restore(SEQUENTIAL_CONTEXT.replace(true));
+    f()
+}
+
+/// `true` when the current thread is a pool worker or inside
+/// [`with_sequential`] (nested `par_*` calls will run sequentially).
+pub fn in_sequential_context() -> bool {
+    SEQUENTIAL_CONTEXT.get()
+}
+
+/// How many chunks each worker should get on average: enough that an
+/// uneven item (one app with a huge dependency graph, one slow trial)
+/// doesn't leave the other workers idle, few enough that the per-chunk
+/// bookkeeping stays invisible next to real work.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// A deterministic data-parallel worker pool.
+///
+/// The pool is a *policy*, not a set of live threads: workers are scoped
+/// to each call (`std::thread::scope`), so a `Pool` is `Copy`-cheap to
+/// create, never leaks threads, and a sequential pool ([`Pool::new`]
+/// with `0` or `1`) spawns nothing at all. See the crate docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// Same resolution as [`global()`]: `PHOENIX_THREADS`, else one
+    /// worker per available CPU.
+    fn default() -> Pool {
+        Pool::new(threads_from_env())
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers; `0` and `1` both mean strictly
+    /// sequential (no threads are ever spawned).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The strictly sequential pool.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Worker count (`1` means sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when this pool never spawns threads.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// Byte-identical to `(0..n).map(f).collect()` for any thread count.
+    pub fn par_map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_map_range_chunked(n, self.auto_chunk(n), f)
+    }
+
+    /// [`par_map_range`](Pool::par_map_range) with an explicit chunk
+    /// size (exposed for the equivalence property tests and for callers
+    /// whose items have known, very uneven cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` while `n > 0`, or when the mapped closure
+    /// panics (the worker panic is propagated, never swallowed).
+    pub fn par_map_range_chunked<R, F>(&self, n: usize, chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunk_count = n.div_ceil(chunk);
+        let workers = self.threads.min(chunk_count);
+        if workers <= 1 || in_sequential_context() {
+            // Sequential fallback: no threads, no slots, no locking.
+            // Also taken for nested calls from inside a pool worker —
+            // the outer fan-out already owns the cores, and sequential
+            // is byte-identical by construction.
+            return (0..n).map(f).collect();
+        }
+
+        // One index-ordered slot per chunk; workers never share a slot.
+        let slots: Vec<Mutex<Option<Vec<R>>>> =
+            (0..chunk_count).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        // Fail fast: a panicking worker raises this flag on unwind so
+        // siblings stop claiming new chunks (they still finish the one
+        // in flight) instead of draining the whole input first.
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    SEQUENTIAL_CONTEXT.set(true);
+                    struct AbortOnPanic<'a>(&'a AtomicBool);
+                    impl Drop for AbortOnPanic<'_> {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                self.0.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let _flag = AbortOnPanic(&abort);
+                    while !abort.load(Ordering::Relaxed) {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunk_count {
+                            break;
+                        }
+                        let lo = i * chunk;
+                        let hi = n.min(lo + chunk);
+                        let out: Vec<R> = (lo..hi).map(&f).collect();
+                        *slots[i]
+                            .lock()
+                            .expect("slot poisoned by a panicking sibling") = Some(out);
+                    }
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            let chunk_out = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("every chunk was claimed before the scope closed");
+            results.extend(chunk_out);
+        }
+        results
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// Byte-identical to `items.iter().map(f).collect()` for any thread
+    /// count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_range(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps `f(index, item)` over `items`, results in input order.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Parallel map + strictly in-order sequential reduction.
+    ///
+    /// Byte-identical to `items.iter().map(map).fold(init, fold)` by
+    /// construction: the map fans out, the fold never does.
+    pub fn par_fold<T, R, A, M, F>(&self, items: &[T], map: M, init: A, fold: F) -> A
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(&T) -> R + Sync,
+        F: FnMut(A, R) -> A,
+    {
+        self.par_map(items, map).into_iter().fold(init, fold)
+    }
+
+    /// Default chunk size for `n` items: enough chunks to load-balance
+    /// ([`CHUNKS_PER_THREAD`] per worker), never empty.
+    fn auto_chunk(&self, n: usize) -> usize {
+        n.div_ceil(self.threads.max(1) * CHUNKS_PER_THREAD).max(1)
+    }
+}
+
+/// Parses `PHOENIX_THREADS`; unset or unparseable falls back to the
+/// available parallelism.
+fn threads_from_env() -> usize {
+    match std::env::var("PHOENIX_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => available_parallelism(),
+        },
+        Err(_) => available_parallelism(),
+    }
+}
+
+/// `std::thread::available_parallelism` with a sequential fallback.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, initialised on first use from
+/// `PHOENIX_THREADS` (see the crate docs for the table). Every planning
+/// and evaluation entry point that does not take an explicit [`Pool`]
+/// uses this one.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(Pool::default)
+}
+
+/// Overrides the global pool's worker count **before first use** (the
+/// bench binaries' `--threads` flag). Returns `false` — and changes
+/// nothing — if the global pool was already initialised.
+pub fn set_global_threads(threads: usize) -> bool {
+    GLOBAL.set(Pool::new(threads)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            assert!(pool.par_map::<u32, u32, _>(&[], |&x| x).is_empty());
+            assert!(pool.par_map_range(0, |i| i).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_threads_are_sequential() {
+        assert!(Pool::new(0).is_sequential());
+        assert!(Pool::new(1).is_sequential());
+        assert!(!Pool::new(2).is_sequential());
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = Pool::new(threads).par_map(&items, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_true_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        for threads in [1, 4] {
+            let out = Pool::new(threads).par_map_indexed(&items, |i, &s| format!("{i}{s}"));
+            assert_eq!(out, vec!["0a", "1b", "2c", "3d", "4e"]);
+        }
+    }
+
+    #[test]
+    fn fold_is_bitwise_equal_to_sequential_for_floats() {
+        // Non-associative float sums: only in-order reduction matches.
+        let items: Vec<f64> = (0..500).map(|i| 1.0 + (i as f64) * 1e-13).collect();
+        let expected = items.iter().map(|&x| x / 3.0).fold(0.0f64, |a, b| a + b);
+        for threads in [1, 2, 7] {
+            let got = Pool::new(threads).par_fold(&items, |&x| x / 3.0, 0.0f64, |a, b| a + b);
+            assert_eq!(got.to_bits(), expected.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_sizes_do_not_change_results() {
+        let n = 97;
+        let expected: Vec<usize> = (0..n).map(|i| i * i).collect();
+        for threads in [1, 3, 16] {
+            for chunk in [1, 2, 5, 96, 97, 1000] {
+                let got = Pool::new(threads).par_map_range_chunked(n, chunk, |i| i * i);
+                assert_eq!(got, expected, "threads {threads} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_stays_on_the_worker_thread() {
+        // An inner par_map issued from a pool worker must not spawn: all
+        // its items run on the worker's own thread, in order.
+        let outer = Pool::new(4);
+        let inner = Pool::new(4);
+        let results = outer.par_map_range_chunked(8, 1, |i| {
+            let worker = std::thread::current().id();
+            let inner_threads = inner.par_map_range(16, |j| (std::thread::current().id(), i * j));
+            let values: Vec<usize> = inner_threads.iter().map(|&(_, v)| v).collect();
+            let all_on_worker = inner_threads.iter().all(|&(id, _)| id == worker);
+            (all_on_worker, values)
+        });
+        for (i, (all_on_worker, values)) in results.into_iter().enumerate() {
+            assert!(all_on_worker, "item {i} nested fan-out left its worker");
+            assert_eq!(values, (0..16).map(|j| i * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn with_sequential_pins_the_calling_thread() {
+        let caller = std::thread::current().id();
+        assert!(!in_sequential_context());
+        let ids = with_sequential(|| {
+            assert!(in_sequential_context());
+            Pool::new(8).par_map_range(32, |_| std::thread::current().id())
+        });
+        assert!(!in_sequential_context(), "context must restore on exit");
+        assert!(ids.into_iter().all(|id| id == caller));
+        // Restores even when the closure panics.
+        let _ = std::panic::catch_unwind(|| with_sequential(|| panic!("boom")));
+        assert!(!in_sequential_context());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let result = std::panic::catch_unwind(move || {
+                pool.par_map_range(64, |i| {
+                    if i == 13 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            });
+            assert!(result.is_err(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn global_pool_is_stable_across_calls() {
+        let a = global().threads();
+        let b = global().threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+        // Once initialised, overrides are rejected.
+        assert!(!set_global_threads(a + 7));
+        assert_eq!(global().threads(), a);
+    }
+}

@@ -5,10 +5,12 @@
 //!
 //! The build environment has no access to crates.io. Instead of
 //! criterion's statistical machinery, each benchmark runs `sample_size`
-//! timed iterations (after one warm-up) and prints mean/min wall-clock
-//! time per iteration — enough to compare hot-path changes locally while
-//! keeping the bench binaries' source identical to what real criterion
-//! would accept.
+//! timed iterations (after one warm-up) and prints min/median/max
+//! wall-clock time per iteration — the median is robust to scheduler
+//! noise, and the min–max spread shows whether a comparison is signal or
+//! jitter (a lone mean cannot). Enough to compare hot-path changes
+//! locally while keeping the bench binaries' source identical to what
+//! real criterion would accept.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,25 +54,35 @@ impl From<String> for BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
-    mean: Duration,
-    min: Duration,
+    timings: Vec<Duration>,
 }
 
 impl Bencher {
     /// Times `samples` calls of `routine` (after one untimed warm-up).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine());
-        let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
+        self.timings.clear();
+        self.timings.reserve(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
-            let elapsed = start.elapsed();
-            total += elapsed;
-            min = min.min(elapsed);
+            self.timings.push(start.elapsed());
         }
-        self.mean = total / self.samples as u32;
-        self.min = min;
+    }
+
+    /// `(min, median, max)` of the recorded samples (nearest-rank
+    /// median: upper of the two middle samples for even counts).
+    fn stats(&self) -> (Duration, Duration, Duration) {
+        if self.timings.is_empty() {
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        }
+        let mut sorted = self.timings.clone();
+        sorted.sort_unstable();
+        (
+            sorted[0],
+            sorted[sorted.len() / 2],
+            *sorted.last().expect("non-empty"),
+        )
     }
 }
 
@@ -147,8 +159,7 @@ impl BenchmarkGroup<'_> {
 fn run_one<F: FnOnce(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, f: F) {
     let mut bencher = Bencher {
         samples,
-        mean: Duration::ZERO,
-        min: Duration::ZERO,
+        timings: Vec::new(),
     };
     f(&mut bencher);
     let label = if group.is_empty() {
@@ -156,10 +167,8 @@ fn run_one<F: FnOnce(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usiz
     } else {
         format!("{group}/{}", id.id)
     };
-    println!(
-        "{label}: mean {:?} / min {:?} over {} samples",
-        bencher.mean, bencher.min, samples
-    );
+    let (min, median, max) = bencher.stats();
+    println!("{label}: min {min:?} / median {median:?} / max {max:?} over {samples} samples");
 }
 
 /// Declares a function that runs the listed benchmark targets.
@@ -186,6 +195,30 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_report_min_median_max() {
+        let mut b = Bencher {
+            samples: 5,
+            timings: vec![
+                Duration::from_micros(30),
+                Duration::from_micros(10),
+                Duration::from_micros(50),
+                Duration::from_micros(20),
+                Duration::from_micros(40),
+            ],
+        };
+        let (min, median, max) = b.stats();
+        assert_eq!(min, Duration::from_micros(10));
+        assert_eq!(median, Duration::from_micros(30));
+        assert_eq!(max, Duration::from_micros(50));
+        // Even count: the upper of the two middle samples.
+        b.timings.pop();
+        let (_, median, _) = b.stats();
+        assert_eq!(median, Duration::from_micros(30));
+        b.timings.clear();
+        assert_eq!(b.stats(), (Duration::ZERO, Duration::ZERO, Duration::ZERO));
+    }
 
     #[test]
     fn groups_and_ids_run_the_closure() {

@@ -207,7 +207,7 @@ fn cmd_drill(args: &[String]) -> Result<(), String> {
     use phoenix::core::policies::standard_roster;
 
     let nodes: usize = opt_parse(args, "--nodes", 200)?;
-    let trials: u64 = opt_parse(args, "--trials", 2)?;
+    let trials: u32 = opt_parse(args, "--trials", 2)?;
     let env = EnvConfig {
         nodes,
         node_capacity: 64.0,

@@ -21,6 +21,7 @@
 //! | [`apps`] | `phoenix-apps` | Overleaf & HotelReservation models, load/latency |
 //! | [`adaptlab`] | `phoenix-adaptlab` | trace generation, tagging, metrics, sweeps |
 //! | [`chaos`] | `phoenix-chaos` | criticality-tag chaos audits |
+//! | [`exec`] | `phoenix-exec` | deterministic data-parallel pool (`PHOENIX_THREADS`) |
 //!
 //! # Quickstart
 //!
@@ -61,5 +62,6 @@ pub use phoenix_chaos as chaos;
 pub use phoenix_cluster as cluster;
 pub use phoenix_core as core;
 pub use phoenix_dgraph as dgraph;
+pub use phoenix_exec as exec;
 pub use phoenix_kubesim as kubesim;
 pub use phoenix_lp as lp;

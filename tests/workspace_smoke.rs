@@ -43,6 +43,49 @@ fn healthy_cluster_places_everything() {
     assert_eq!(plan.target.pod_count(), 2);
 }
 
+/// `cargo test -q` (tier-1) runs `default-members`, not `--workspace`:
+/// a crate missing from that list silently stops being covered. This
+/// turns the ROADMAP's footgun into a failing test — every directory
+/// under `crates/` must appear in the root manifest's `default-members`.
+#[test]
+fn every_crate_is_a_default_member() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let manifest =
+        std::fs::read_to_string(format!("{root}/Cargo.toml")).expect("read root Cargo.toml");
+
+    // The `default-members = [ ... ]` array, naively bracket-matched
+    // (the manifest is hand-maintained TOML with no nested brackets).
+    let start = manifest
+        .find("default-members")
+        .expect("root manifest lists default-members");
+    let open = manifest[start..].find('[').expect("array opens") + start;
+    let close = manifest[open..].find(']').expect("array closes") + open;
+    let members: Vec<String> = manifest[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let mut missing = Vec::new();
+    let mut crate_dirs = std::fs::read_dir(format!("{root}/crates"))
+        .expect("crates/ exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect::<Vec<_>>();
+    crate_dirs.sort();
+    assert!(!crate_dirs.is_empty(), "no crates found under crates/");
+    for dir in &crate_dirs {
+        if !members.iter().any(|m| m == &format!("crates/{dir}")) {
+            missing.push(dir.clone());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates missing from default-members (tier-1 would silently skip them): {missing:?}"
+    );
+}
+
 #[test]
 fn objectives_are_selectable_and_deterministic() {
     for objective in [ObjectiveKind::Fairness, ObjectiveKind::Cost] {
