@@ -1,7 +1,7 @@
 //! Determinism probe: emits every class of parallelised output — cold
-//! plans, warm replans over a churn scenario, a kubesim node-failure
-//! run, a multi-trial AdaptLab sweep, and a chaos audit — with all
-//! wall-clock fields stripped.
+//! plans, warm replans over a churn scenario, sharded-packing churn
+//! rounds, a kubesim node-failure run, a multi-trial AdaptLab sweep,
+//! and a chaos audit — with all wall-clock fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
 //! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
@@ -103,6 +103,57 @@ fn probe_churn() {
     }
 }
 
+/// Sharded-packing churn rounds: the same workload as [`probe_churn`]
+/// with the packing stage fanned out over node shards on the global
+/// pool. Every round is also asserted in-process against an unsharded
+/// reference controller — the CI diff then guarantees the sharded merge
+/// is additionally thread-count-invariant.
+fn probe_sharded() {
+    let mut sharded_cfg = PhoenixConfig::with_objective(ObjectiveKind::Fairness);
+    sharded_cfg.packing.shards = 3;
+    let mut sharded = PhoenixController::new(churn_workload(), sharded_cfg);
+    let mut reference = PhoenixController::new(
+        churn_workload(),
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+    );
+    let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+    for round in 0..6 {
+        let result = sharded.replan(&live, ReplanDelta::Full);
+        let unsharded = reference.replan(&live, ReplanDelta::Full);
+        assert_eq!(
+            result.actions, unsharded.actions,
+            "sharded/unsharded divergence in round {round}"
+        );
+        let (d, m, s) = result.actions.counts();
+        println!("sharded round {round}: actions d={d} m={m} s={s}");
+        let mut placed: Vec<_> = result
+            .target
+            .assignments()
+            .map(|(p, n, _)| (p, n.index()))
+            .collect();
+        placed.sort_unstable();
+        for (pod, node) in placed {
+            println!("  pod {pod} -> node {node}");
+        }
+        live = result.target.clone();
+        match round {
+            0 => {
+                live.fail_node(NodeId::new(0));
+            }
+            1 => {
+                live.fail_node(NodeId::new(1));
+                live.fail_node(NodeId::new(2));
+            }
+            2 => {
+                live.restore_node(NodeId::new(0));
+            }
+            _ => {
+                live.restore_node(NodeId::new(1));
+            }
+        }
+    }
+}
+
 /// Kubesim node-failure sweep (the chaos crate's simulated control
 /// plane) — every field here is simulated time, not wall-clock.
 fn probe_kubesim() {
@@ -190,6 +241,7 @@ fn main() {
     // report it on stderr only.
     eprintln!("determinism probe on {threads} thread(s)");
     probe_churn();
+    probe_sharded();
     probe_kubesim();
     probe_sweep();
     probe_audit();

@@ -12,10 +12,33 @@
 //!
 //! All work happens on a scratch [`ClusterState`] copy owned by the caller;
 //! enforcement is the agent's job (§4.2).
+//!
+//! # Sharded packing
+//!
+//! [`pack_sharded`] / [`pack_prepared_sharded`] run the same algorithm
+//! with the step-1 fit scans fanned out over contiguous node shards
+//! ([`ShardLayout`]), producing **byte-identical** output for every shard
+//! count, chunk size, and [`ShardRunner`]:
+//!
+//! * the plan is walked in rank-ordered chunks; at each chunk boundary
+//!   the cluster state is *frozen* and every shard computes, in parallel,
+//!   its local fit proposal for each pending pod of the chunk;
+//! * a sequential **ordered merge** then visits the chunk in rank order,
+//!   combining the per-shard proposals into the exact node the global
+//!   scan would have picked (for every fit strategy, the global winner is
+//!   the extremum over per-shard first-fits);
+//! * every mutation — placements, repack migrations, delete-lower-ranks
+//!   victims — marks the touched shards *dirty*, and the merge replays
+//!   the fit of any pod whose proposal a dirty shard invalidated against
+//!   live shard state (mirroring how `ReplanCache` replays invalidated
+//!   prefixes). Repack and victim bookkeeping themselves run sequentially
+//!   on the authoritative global state through the very same code path as
+//!   the sequential driver, so shard-crossing work cannot diverge.
 
 use std::collections::BTreeSet;
 
-use crate::{ClusterState, FxHashMap, NodeId, PodKey, Resources, SortedNodes};
+use crate::shard::{ShardLayout, ShardProposals, ShardRunner};
+use crate::{ClusterState, FxHashMap, NodeId, OrderedF64, PodKey, Resources, SortedNodes};
 
 /// One entry of the planner's globally-ranked list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +88,15 @@ pub struct PackingConfig {
     /// constraint (§4); Kubernetes ships with `max-pods = 110`. `None`
     /// disables the check.
     pub max_pods_per_node: Option<usize>,
+    /// Number of contiguous node shards the sharded drivers
+    /// ([`pack_sharded`] / [`pack_prepared_sharded`]) fan the step-1 fit
+    /// scans over; `0` or `1` keeps packing strictly sequential. Output
+    /// is byte-identical either way — this knob only moves wall-clock.
+    pub shards: usize,
+    /// Plan pods per speculation chunk on the sharded path (`0` derives
+    /// a chunk from plan length and shard count). Any value produces
+    /// identical output; it only tunes the freeze/merge cadence.
+    pub shard_chunk: usize,
 }
 
 impl Default for PackingConfig {
@@ -76,6 +108,8 @@ impl Default for PackingConfig {
             max_migration_nodes: 8,
             strict: false,
             max_pods_per_node: None,
+            shards: 0,
+            shard_chunk: 0,
         }
     }
 }
@@ -137,8 +171,149 @@ pub fn pack_prepared(
         .enumerate()
         .all(|(i, p)| rank_of(p.key) == Some(i)));
     let mut out = PackOutcome::default();
+    drop_unplanned(state, &rank_of, &mut out);
+    let mut book = NodeBook::new(state, None);
+    let mut ctx = PackCtx::default();
+    place_range(
+        state,
+        plan,
+        cfg,
+        &rank_of,
+        &mut book,
+        &mut ctx,
+        &mut out,
+        0..plan.len(),
+        |state, book, _, demand| try_fit(state, &book.sorted, demand, cfg),
+    );
+    out
+}
 
-    // Step 0: diagonal scaling — drop running pods the plan turned off.
+/// [`pack`] on the sharded path: contiguous node shards compute fit
+/// proposals for rank-ordered plan chunks through `runner` (the parallel
+/// phase), and a sequential ordered merge applies them — replaying any
+/// pod whose shard-local proposal a mutation invalidated. Byte-identical
+/// to [`pack`] for every shard count, chunk size, and runner (see the
+/// [module docs](self) for the contract and the equivalence property
+/// tests for the proof-by-fire).
+pub fn pack_sharded(
+    state: &mut ClusterState,
+    plan: &[PlannedPod],
+    cfg: &PackingConfig,
+    runner: &dyn ShardRunner,
+) -> PackOutcome {
+    let rank_of: FxHashMap<PodKey, usize> =
+        plan.iter().enumerate().map(|(i, p)| (p.key, i)).collect();
+    pack_prepared_sharded(state, plan, cfg, |p| rank_of.get(&p).copied(), runner)
+}
+
+/// [`pack_prepared`] on the sharded path (see [`pack_sharded`]); the
+/// `rank_of` contract is the same as [`pack_prepared`]'s.
+///
+/// With `cfg.shards <= 1` (or a cluster smaller than two shards) this
+/// delegates to the sequential driver without touching `runner`.
+///
+/// # Panics
+///
+/// As [`pack_prepared`].
+pub fn pack_prepared_sharded(
+    state: &mut ClusterState,
+    plan: &[PlannedPod],
+    cfg: &PackingConfig,
+    rank_of: impl Fn(PodKey) -> Option<usize>,
+    runner: &dyn ShardRunner,
+) -> PackOutcome {
+    let shards = cfg.shards.min(state.node_count());
+    if shards <= 1 {
+        return pack_prepared(state, plan, cfg, rank_of);
+    }
+    debug_assert!(plan
+        .iter()
+        .enumerate()
+        .all(|(i, p)| rank_of(p.key) == Some(i)));
+    let mut out = PackOutcome::default();
+    drop_unplanned(state, &rank_of, &mut out);
+    let layout = ShardLayout::new(state.node_count(), shards);
+    let mut book = NodeBook::new(state, Some(layout));
+    let mut ctx = PackCtx::default();
+    let chunk = if cfg.shard_chunk > 0 {
+        cfg.shard_chunk
+    } else {
+        auto_chunk(plan.len(), shards)
+    };
+
+    let mut start = 0usize;
+    while start < plan.len() {
+        let end = plan.len().min(start + chunk);
+        // Freeze: the chunk's pods that are not currently running. Pods
+        // running at the freeze either stay in place (the common case) or
+        // are victimized mid-chunk and replayed against live shard state.
+        let pending: Vec<usize> = (start..end)
+            .filter(|&i| state.node_of(plan[i].key).is_none())
+            .collect();
+        if pending.is_empty() {
+            // Every pod in the chunk is running at the freeze, so the
+            // merge could only skip them: nothing is placed, nothing is
+            // victimized (victims come from placements), and the shard
+            // fan-out would produce empty proposal vectors. This is the
+            // common warm-replan case — whole chunks of the plan already
+            // converged — so skip the dispatch entirely.
+            start = end;
+            continue;
+        }
+        let mut pend_of: Vec<Option<usize>> = vec![None; end - start];
+        for (row, &i) in pending.iter().enumerate() {
+            pend_of[i - start] = Some(row);
+        }
+        // Parallel speculation: every shard proposes its local fit for
+        // each pending pod against the frozen state. Pure reads — the
+        // runner may schedule them on any threads in any order.
+        let proposals: Vec<ShardProposals> = {
+            let frozen: &ClusterState = state;
+            let mirror = book.shards.as_ref().expect("sharded book");
+            runner.run_shards(shards, &|s| {
+                pending
+                    .iter()
+                    .map(|&i| try_fit(frozen, &mirror.sorted[s], plan[i].demand, cfg))
+                    .collect()
+            })
+        };
+        book.clear_dirty();
+        // Ordered merge: walk the chunk in rank order, combining frozen
+        // proposals from still-clean shards and replaying dirty ones.
+        let aborted = place_range(
+            state,
+            plan,
+            cfg,
+            &rank_of,
+            &mut book,
+            &mut ctx,
+            &mut out,
+            start..end,
+            |state, book, rank, demand| {
+                merged_fit(state, book, cfg, demand, pend_of[rank - start], &proposals)
+            },
+        );
+        if aborted {
+            break;
+        }
+        start = end;
+    }
+    out
+}
+
+/// Default speculation chunk: a handful of chunks per shard keeps the
+/// merge replaying few stale shards while the freeze/fan-out overhead
+/// stays invisible. Any value is output-identical.
+fn auto_chunk(plan_len: usize, shards: usize) -> usize {
+    plan_len.div_ceil(shards.max(1) * 4).clamp(32, 4096)
+}
+
+/// Step 0: diagonal scaling — drop running pods the plan turned off.
+fn drop_unplanned(
+    state: &mut ClusterState,
+    rank_of: &impl Fn(PodKey) -> Option<usize>,
+    out: &mut PackOutcome,
+) {
     let to_drop: Vec<PodKey> = state
         .assignments()
         .filter(|&(p, _, _)| rank_of(p).is_none())
@@ -148,29 +323,103 @@ pub fn pack_prepared(
         state.remove(p).expect("pod listed in assignments");
         out.deletions.push(p);
     }
+}
 
-    // Sorted view over healthy-node remaining capacity.
-    let mut sorted = SortedNodes::new();
-    for n in state.healthy_nodes() {
-        sorted.insert(n, state.remaining(n).scalar());
+/// The packing loop's node-capacity bookkeeping: the authoritative
+/// global [`SortedNodes`] plus, on the sharded path, per-shard mirrors
+/// with dirty-since-freeze flags. Every capacity mutation funnels
+/// through [`NodeBook::update`], so the sequential and sharded drivers
+/// mutate in lockstep by construction.
+struct NodeBook {
+    sorted: SortedNodes,
+    shards: Option<ShardMirror>,
+}
+
+struct ShardMirror {
+    layout: ShardLayout,
+    /// One [`SortedNodes`] per shard, holding only that shard's healthy
+    /// nodes (keys stay current — mirrors are updated with the global
+    /// set, dirtiness only tracks changes since the last chunk freeze).
+    sorted: Vec<SortedNodes>,
+    dirty: Vec<bool>,
+}
+
+impl NodeBook {
+    fn new(state: &ClusterState, layout: Option<ShardLayout>) -> NodeBook {
+        let mut sorted = SortedNodes::new();
+        let mut shards = layout.map(|layout| ShardMirror {
+            sorted: vec![SortedNodes::new(); layout.count()],
+            dirty: vec![false; layout.count()],
+            layout,
+        });
+        for n in state.healthy_nodes() {
+            let key = state.remaining(n).scalar();
+            sorted.insert(n, key);
+            if let Some(m) = shards.as_mut() {
+                m.sorted[m.layout.shard_of(n)].insert(n, key);
+            }
+        }
+        NodeBook { sorted, shards }
     }
 
-    // Active planned pods, ordered by rank (for the deletion fallback).
-    // Built lazily on the first fallback: rounds with enough capacity — the
-    // common case, and every warm replan after a small failure — never pay
-    // the O(pods · log pods) set construction.
-    let mut active: Option<BTreeSet<(usize, PodKey)>> = None;
+    fn update(&mut self, node: NodeId, remaining: f64) {
+        self.sorted.update(node, remaining);
+        if let Some(m) = self.shards.as_mut() {
+            let s = m.layout.shard_of(node);
+            m.sorted[s].update(node, remaining);
+            m.dirty[s] = true;
+        }
+    }
 
-    for (rank, planned) in plan.iter().enumerate() {
+    fn clear_dirty(&mut self) {
+        if let Some(m) = self.shards.as_mut() {
+            m.dirty.iter_mut().for_each(|d| *d = false);
+        }
+    }
+}
+
+/// Cross-pod bookkeeping shared by the sequential and sharded drivers.
+#[derive(Default)]
+struct PackCtx {
+    /// Active planned pods, ordered by rank (for the deletion fallback).
+    /// Built lazily on the first fallback: rounds with enough capacity —
+    /// the common case, and every warm replan after a small failure —
+    /// never pay the O(pods · log pods) set construction.
+    active: Option<BTreeSet<(usize, PodKey)>>,
+    /// Original node of every pre-existing pod the deletion fallback
+    /// victimized this pack: consulted on re-placement to collapse the
+    /// delete + start pair into a keep or a migration.
+    victim_origin: FxHashMap<PodKey, NodeId>,
+}
+
+/// Places `plan[range]` with the three-pronged strategy, appending to
+/// `out`. `fit` computes step 1 — the sequential driver scans the global
+/// sorted set, the sharded driver merges per-shard proposals — while
+/// repack and the deletion fallback run identically in both. Returns
+/// `true` when strict mode aborted.
+#[allow(clippy::too_many_arguments)]
+fn place_range(
+    state: &mut ClusterState,
+    plan: &[PlannedPod],
+    cfg: &PackingConfig,
+    rank_of: &impl Fn(PodKey) -> Option<usize>,
+    book: &mut NodeBook,
+    ctx: &mut PackCtx,
+    out: &mut PackOutcome,
+    range: std::ops::Range<usize>,
+    mut fit: impl FnMut(&ClusterState, &NodeBook, usize, Resources) -> Option<NodeId>,
+) -> bool {
+    for rank in range {
+        let planned = &plan[rank];
         if state.node_of(planned.key).is_some() {
             continue; // already running; keep in place
         }
-        let mut target = try_fit(state, &sorted, planned.demand, cfg);
+        let mut target = fit(state, book, rank, planned.demand);
         if target.is_none() && cfg.enable_migration {
-            target = repack_to_fit(state, &mut sorted, planned.demand, cfg, &mut out);
+            target = repack_to_fit(state, book, planned.demand, cfg, out);
         }
         while target.is_none() {
-            let active = active.get_or_insert_with(|| {
+            let active = ctx.active.get_or_insert_with(|| {
                 state
                     .assignments()
                     .map(|(p, _, _)| (rank_of(p).expect("assigned pod is planned"), p))
@@ -185,37 +434,105 @@ pub fn pack_prepared(
             }
             active.remove(&(victim_rank, victim));
             let (node, _) = state.remove(victim).expect("victim is assigned");
-            sorted.update(node, state.remaining(node).scalar());
+            book.update(node, state.remaining(node).scalar());
             // The victim may have been started earlier in this very pack; a
             // start followed by a delete collapses to "never started".
             if let Some(pos) = out.starts.iter().position(|&(p, _)| p == victim) {
                 out.starts.swap_remove(pos);
             } else {
                 out.deletions.push(victim);
+                ctx.victim_origin.insert(victim, node);
             }
-            target = try_fit(state, &sorted, planned.demand, cfg);
+            target = fit(state, book, rank, planned.demand);
         }
         match target {
             Some(node) => {
                 state
                     .assign(planned.key, planned.demand, node)
                     .expect("fit was just verified");
-                sorted.update(node, state.remaining(node).scalar());
-                if let Some(active) = active.as_mut() {
+                book.update(node, state.remaining(node).scalar());
+                if let Some(active) = ctx.active.as_mut() {
                     active.insert((rank, planned.key));
                 }
-                out.starts.push((planned.key, node));
+                match ctx.victim_origin.remove(&planned.key) {
+                    // A pre-existing pod victimized earlier this pack and
+                    // re-placed at its own rank: reporting the delete +
+                    // start pair would make the agent restart a running
+                    // pod (exactly what cooperative degradation forbids).
+                    // Collapse it — back on its old node it is a keep,
+                    // elsewhere a migration.
+                    Some(from) => {
+                        let pos = out
+                            .deletions
+                            .iter()
+                            .position(|&p| p == planned.key)
+                            .expect("victimized pod was recorded deleted");
+                        out.deletions.swap_remove(pos);
+                        if from != node {
+                            out.migrations.push((planned.key, from, node));
+                        }
+                    }
+                    None => out.starts.push((planned.key, node)),
+                }
             }
             None => {
                 out.unplaced.push(planned.key);
                 if cfg.strict {
                     out.aborted = true;
-                    break;
+                    return true;
                 }
             }
         }
     }
-    out
+    false
+}
+
+/// Step 1 on the sharded path: the node the global scan would pick,
+/// reconstructed from per-shard first-fits. Clean shards reuse the
+/// frozen proposal row (`frozen_row`, absent for pods that were running
+/// at the freeze); dirty shards — and every shard of a proposal-less pod
+/// — replay [`try_fit`] against their live mirror.
+fn merged_fit(
+    state: &ClusterState,
+    book: &NodeBook,
+    cfg: &PackingConfig,
+    demand: Resources,
+    frozen_row: Option<usize>,
+    proposals: &[ShardProposals],
+) -> Option<NodeId> {
+    let mirror = book.shards.as_ref().expect("sharded book");
+    let mut best: Option<(OrderedF64, NodeId)> = None;
+    for s in 0..mirror.sorted.len() {
+        let cand = match frozen_row {
+            Some(row) if !mirror.dirty[s] => proposals[s][row],
+            _ => try_fit(state, &mirror.sorted[s], demand, cfg),
+        };
+        let Some(node) = cand else { continue };
+        let keyed = (
+            OrderedF64::new(mirror.sorted[s].key(node).expect("candidate is tracked")),
+            node,
+        );
+        match cfg.fit {
+            // Shards are contiguous ascending id ranges, so the first
+            // shard with a fit holds the globally lowest-id fitting node.
+            FitStrategy::FirstFit => return Some(node),
+            // The global best fit is the smallest (key, id) among the
+            // shards' local best fits: every candidate ordered before a
+            // shard's first fit does not fit, in any shard.
+            FitStrategy::BestFit => {
+                if best.is_none_or(|b| keyed < b) {
+                    best = Some(keyed);
+                }
+            }
+            // Symmetrically, worst fit is the largest (key, id).
+            FitStrategy::WorstFit => {
+                if best.is_none_or(|b| keyed > b) {
+                    best = Some(keyed);
+                }
+            }
+        }
+    }
+    best.map(|(_, n)| n)
 }
 
 /// Whether `node` can take `demand`: capacity in both dimensions plus the
@@ -238,11 +555,16 @@ fn try_fit(
         FitStrategy::BestFit => sorted
             .best_fit_candidates(demand.scalar())
             .find(|&n| fits_node(state, cfg, n, demand)),
+        // First fit by id order, stopping at the first fit. (This used to
+        // materialize every fitting node from the capacity-sorted view and
+        // take `.min()` — an O(tracked nodes) scan per placement. The
+        // placements are identical: a fitting node's remaining capacity
+        // always clears the scalar key filter, so "min id among all
+        // fitting" equals "first fit in id order".)
         FitStrategy::FirstFit => sorted
-            .iter_asc()
+            .iter_by_id()
             .map(|(n, _)| n)
-            .filter(|&n| fits_node(state, cfg, n, demand))
-            .min(),
+            .find(|&n| fits_node(state, cfg, n, demand)),
         FitStrategy::WorstFit => sorted
             .iter_desc()
             .map(|(n, _)| n)
@@ -254,15 +576,19 @@ fn try_fit(
 ///
 /// Examines candidate source nodes from most to least remaining capacity
 /// (emptier nodes need fewer moves). Tentative moves are rolled back when a
-/// candidate cannot be freed within the move budget.
+/// candidate cannot be freed within the move budget. Runs sequentially on
+/// the authoritative global view in both drivers; on the sharded path the
+/// [`NodeBook`] updates also dirty the touched shard mirrors, so the merge
+/// replays any proposal a migration (or its rollback) invalidated.
 fn repack_to_fit(
     state: &mut ClusterState,
-    sorted: &mut SortedNodes,
+    book: &mut NodeBook,
     demand: Resources,
     cfg: &PackingConfig,
     out: &mut PackOutcome,
 ) -> Option<NodeId> {
-    let candidates: Vec<NodeId> = sorted
+    let candidates: Vec<NodeId> = book
+        .sorted
         .iter_desc()
         .take(cfg.max_migration_nodes)
         .map(|(n, _)| n)
@@ -288,15 +614,16 @@ fn repack_to_fit(
                 break;
             }
             // Find a home on any *other* node (best-fit).
-            let Some(dest) = sorted
+            let Some(dest) = book
+                .sorted
                 .best_fit_candidates(d.scalar())
                 .find(|&n| n != source && fits_node(state, cfg, n, d))
             else {
                 continue;
             };
             state.migrate(p, dest).expect("fit was just verified");
-            sorted.update(source, state.remaining(source).scalar());
-            sorted.update(dest, state.remaining(dest).scalar());
+            book.update(source, state.remaining(source).scalar());
+            book.update(dest, state.remaining(dest).scalar());
             moves.push((p, source, dest));
         }
         if !ok && fits_node(state, cfg, source, demand) {
@@ -309,8 +636,8 @@ fn repack_to_fit(
         // Roll back tentative moves, most recent first.
         for (p, src, dest) in moves.into_iter().rev() {
             state.migrate(p, src).expect("rollback to source succeeds");
-            sorted.update(src, state.remaining(src).scalar());
-            sorted.update(dest, state.remaining(dest).scalar());
+            book.update(src, state.remaining(src).scalar());
+            book.update(dest, state.remaining(dest).scalar());
         }
     }
     None
@@ -417,13 +744,76 @@ mod tests {
             ..PackingConfig::default()
         };
         let out = pack(&mut state, &plan, &cfg);
-        // Lowest-priority pod3 is deleted, freeing node1 for the 8-CPU pod.
+        // Lowest-priority pod3 is victimized, freeing node1 for the 8-CPU
+        // pod; when pod3's own turn comes it is re-placed in the leftover
+        // space on node0. The delete + start pair collapses into the one
+        // action the agent actually needs: a migration (a running pod is
+        // never restarted in place of a move).
         assert_eq!(state.node_of(pod(0)), Some(NodeId::new(1)));
-        assert_eq!(out.deletions, vec![pod(3)]);
-        // When pod3's own turn comes it is re-placed in the leftover space.
         assert_eq!(state.node_of(pod(3)), Some(NodeId::new(0)));
-        assert!(out.migrations.is_empty());
+        assert!(out.deletions.is_empty(), "deletions: {:?}", out.deletions);
+        assert_eq!(
+            out.migrations,
+            vec![(pod(3), NodeId::new(1), NodeId::new(0))]
+        );
+        assert!(!out.starts.iter().any(|&(p, _)| p == pod(3)));
         state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn victim_replaced_on_its_own_node_is_a_keep() {
+        // One 12-CPU node running pod5 at 3 CPUs. The plan puts a 10-CPU
+        // pod first and shrinks pod5 to 2 CPUs: pod5 is victimized to fit
+        // rank 0, then re-placed on the very same node. Net effect for the
+        // agent: nothing — no delete, no start, no migration for pod5.
+        let mut state = ClusterState::homogeneous(1, Resources::cpu(12.0));
+        state
+            .assign(pod(5), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        let plan = plan_of(&[(0, 10.0), (5, 2.0)]);
+        let out = pack(&mut state, &plan, &PackingConfig::default());
+        assert_eq!(state.node_of(pod(0)), Some(NodeId::new(0)));
+        assert_eq!(state.node_of(pod(5)), Some(NodeId::new(0)));
+        assert!(out.deletions.is_empty(), "deletions: {:?}", out.deletions);
+        assert!(out.migrations.is_empty());
+        assert_eq!(out.starts, vec![(pod(0), NodeId::new(0))]);
+        assert!(out.unplaced.is_empty());
+        state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn starts_and_deletions_never_share_a_pod() {
+        // The `migration_disabled_falls_through_to_deletion` shape used to
+        // report pod3 in both `deletions` and `starts` — a spurious
+        // restart of a running pod. Assert the contract directly.
+        let mut state = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        state
+            .assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        state
+            .assign(pod(3), Resources::cpu(4.0), NodeId::new(1))
+            .unwrap();
+        let plan = plan_of(&[(0, 8.0), (1, 3.0), (2, 3.0), (3, 4.0)]);
+        for enable_migration in [false, true] {
+            let mut s = state.clone();
+            let cfg = PackingConfig {
+                enable_migration,
+                ..PackingConfig::default()
+            };
+            let out = pack(&mut s, &plan, &cfg);
+            for &(p, _) in &out.starts {
+                assert!(
+                    !out.deletions.contains(&p),
+                    "pod {p} reported deleted and started (migration={enable_migration})"
+                );
+            }
+            for &p in &out.deletions {
+                assert_eq!(s.node_of(p), None, "deleted pod {p} still assigned");
+            }
+        }
     }
 
     #[test]
@@ -666,21 +1056,22 @@ mod tests {
                 .assign(pod(s), Resources::cpu(cpu), NodeId::new(node as u32))
                 .unwrap();
         }
-        let mut sorted = SortedNodes::new();
-        for n in state.healthy_nodes() {
-            sorted.insert(n, state.remaining(n).scalar());
-        }
-        let before = snapshot(&state, &sorted);
+        let mut book = NodeBook::new(&state, None);
+        let before = snapshot(&state, &book.sorted);
 
         let cfg = PackingConfig {
             max_migration_moves: 1,
             ..PackingConfig::default()
         };
         let mut out = PackOutcome::default();
-        let target = repack_to_fit(&mut state, &mut sorted, Resources::cpu(6.0), &cfg, &mut out);
+        let target = repack_to_fit(&mut state, &mut book, Resources::cpu(6.0), &cfg, &mut out);
 
         assert_eq!(target, None, "no candidate can be freed");
-        assert_eq!(snapshot(&state, &sorted), before, "rollback incomplete");
+        assert_eq!(
+            snapshot(&state, &book.sorted),
+            before,
+            "rollback incomplete"
+        );
         assert!(out.migrations.is_empty(), "tentative moves leaked");
         assert!(out.deletions.is_empty() && out.starts.is_empty());
         state.check_invariants().unwrap();
@@ -708,22 +1099,13 @@ mod tests {
         state
             .assign(pod(3), Resources::cpu(6.0), NodeId::new(1))
             .unwrap();
-        let mut sorted = SortedNodes::new();
-        for n in state.healthy_nodes() {
-            sorted.insert(n, state.remaining(n).scalar());
-        }
+        let mut book = NodeBook::new(&state, None);
         let cfg = PackingConfig {
             max_migration_moves: 1,
             ..PackingConfig::default()
         };
         let mut out = PackOutcome::default();
-        let target = repack_to_fit(
-            &mut state,
-            &mut sorted,
-            Resources::cpu(10.0),
-            &cfg,
-            &mut out,
-        );
+        let target = repack_to_fit(&mut state, &mut book, Resources::cpu(10.0), &cfg, &mut out);
         assert_eq!(target, Some(NodeId::new(1)));
         // Only the successful candidate's move is recorded; node0's
         // tentative move was rolled back and left no trace.
@@ -736,9 +1118,160 @@ mod tests {
         assert_eq!(state.node_of(pod(2)), Some(NodeId::new(0)));
         // SortedNodes keys agree with the mutated state on every node.
         for n in state.node_ids() {
-            assert_eq!(sorted.key(n), Some(state.remaining(n).scalar()), "{n}");
+            assert_eq!(book.sorted.key(n), Some(state.remaining(n).scalar()), "{n}");
         }
         state.check_invariants().unwrap();
+    }
+
+    /// Packs the same scenario sequentially and sharded (over several
+    /// shard counts and chunk sizes, inline runner) and asserts the
+    /// outcomes and resulting states byte-identical.
+    fn assert_sharded_equivalent(state: &ClusterState, plan: &[PlannedPod], cfg: &PackingConfig) {
+        let mut seq_state = state.clone();
+        let seq = pack(&mut seq_state, plan, cfg);
+        for shards in [2usize, 3, 5, 64] {
+            for chunk in [0usize, 1, 2, 7, 1000] {
+                let mut cfg_s = cfg.clone();
+                cfg_s.shards = shards;
+                cfg_s.shard_chunk = chunk;
+                let mut st = state.clone();
+                let out = pack_sharded(&mut st, plan, &cfg_s, &crate::shard::SeqShardRunner);
+                let tag = format!("shards {shards} chunk {chunk}");
+                assert_eq!(out.deletions, seq.deletions, "{tag}");
+                assert_eq!(out.migrations, seq.migrations, "{tag}");
+                assert_eq!(out.starts, seq.starts, "{tag}");
+                assert_eq!(out.unplaced, seq.unplaced, "{tag}");
+                assert_eq!(out.aborted, seq.aborted, "{tag}");
+                let placements = |s: &ClusterState| {
+                    let mut v: Vec<_> = s.assignments().map(|(p, n, _)| (p, n)).collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(placements(&st), placements(&seq_state), "{tag}");
+                for n in st.node_ids() {
+                    assert_eq!(
+                        st.remaining(n).cpu.to_bits(),
+                        seq_state.remaining(n).cpu.to_bits(),
+                        "{tag}: {n}"
+                    );
+                }
+                st.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pack_matches_sequential_on_fresh_clusters() {
+        let state = ClusterState::new(
+            [10.0, 4.0, 7.0, 6.0, 12.0, 3.0]
+                .into_iter()
+                .map(Resources::cpu),
+        );
+        let plan = plan_of(&[
+            (0, 4.0),
+            (1, 6.0),
+            (2, 4.0),
+            (3, 9.0),
+            (4, 2.5),
+            (5, 2.5),
+            (6, 5.0),
+            (7, 1.0),
+        ]);
+        for fit in [
+            FitStrategy::BestFit,
+            FitStrategy::FirstFit,
+            FitStrategy::WorstFit,
+        ] {
+            let cfg = PackingConfig {
+                fit,
+                ..PackingConfig::default()
+            };
+            assert_sharded_equivalent(&state, &plan, &cfg);
+        }
+    }
+
+    #[test]
+    fn sharded_pack_matches_sequential_with_victims_and_drops() {
+        // Pre-existing pods: one dropped by diagonal scaling (absent from
+        // the plan), two victimized across shard boundaries, one kept.
+        let mut state = ClusterState::homogeneous(4, Resources::cpu(6.0));
+        state
+            .assign(pod(9), Resources::cpu(5.0), NodeId::new(0))
+            .unwrap(); // kept (in plan)
+        state
+            .assign(pod(7), Resources::cpu(4.0), NodeId::new(1))
+            .unwrap(); // victim candidate
+        state
+            .assign(pod(8), Resources::cpu(4.0), NodeId::new(2))
+            .unwrap(); // victim candidate
+        state
+            .assign(pod(99), Resources::cpu(3.0), NodeId::new(3))
+            .unwrap(); // not in plan: dropped
+        let plan = plan_of(&[(0, 6.0), (9, 5.0), (1, 6.0), (7, 4.0), (8, 4.0), (2, 2.0)]);
+        for enable_migration in [true, false] {
+            for strict in [false, true] {
+                let cfg = PackingConfig {
+                    enable_migration,
+                    strict,
+                    max_migration_moves: 1,
+                    ..PackingConfig::default()
+                };
+                assert_sharded_equivalent(&state, &plan, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pack_matches_sequential_with_pod_caps_and_two_dims() {
+        let state = ClusterState::new([
+            Resources::new(10.0, 1.0),
+            Resources::new(4.0, 16.0),
+            Resources::new(6.0, 8.0),
+            Resources::new(6.0, 8.0),
+        ]);
+        let plan = vec![
+            PlannedPod::new(pod(0), Resources::new(3.0, 8.0)),
+            PlannedPod::new(pod(1), Resources::new(1.0, 8.0)),
+            PlannedPod::new(pod(2), Resources::new(5.0, 0.5)),
+            PlannedPod::new(pod(3), Resources::new(2.0, 4.0)),
+            PlannedPod::new(pod(4), Resources::new(2.0, 4.0)),
+            PlannedPod::new(pod(5), Resources::new(1.0, 1.0)),
+        ];
+        let cfg = PackingConfig {
+            max_pods_per_node: Some(2),
+            ..PackingConfig::default()
+        };
+        assert_sharded_equivalent(&state, &plan, &cfg);
+    }
+
+    #[test]
+    fn sharded_pack_with_failed_nodes_and_empty_plan() {
+        let mut state = ClusterState::homogeneous(5, Resources::cpu(4.0));
+        state.fail_node(NodeId::new(1));
+        state.fail_node(NodeId::new(4));
+        state
+            .assign(pod(3), Resources::cpu(2.0), NodeId::new(2))
+            .unwrap();
+        let plan = plan_of(&[(0, 4.0), (1, 4.0), (2, 4.0), (3, 2.0)]);
+        assert_sharded_equivalent(&state, &plan, &PackingConfig::default());
+        assert_sharded_equivalent(&state, &[], &PackingConfig::default());
+    }
+
+    #[test]
+    fn single_shard_and_tiny_clusters_delegate_to_sequential() {
+        let state = ClusterState::homogeneous(1, Resources::cpu(10.0));
+        let plan = plan_of(&[(0, 4.0), (1, 4.0), (2, 4.0)]);
+        // shards > node_count clamps down to 1 and must still work.
+        let cfg = PackingConfig {
+            shards: 16,
+            ..PackingConfig::default()
+        };
+        let mut a = state.clone();
+        let out_a = pack_sharded(&mut a, &plan, &cfg, &crate::shard::SeqShardRunner);
+        let mut b = state.clone();
+        let out_b = pack(&mut b, &plan, &PackingConfig::default());
+        assert_eq!(out_a.starts, out_b.starts);
+        assert_eq!(out_a.unplaced, out_b.unplaced);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Contiguous node sharding for the packing scheduler.
+//!
+//! [`ShardLayout`] partitions the cluster's dense node-index space into
+//! contiguous, near-equal ranges; `packing::pack_prepared_sharded` fans
+//! per-shard best-fit proposal scans out over them and merges the results
+//! deterministically (see that module for the freeze/propose/merge
+//! contract).
+//!
+//! The substrate crates carry no intra-workspace dependencies, so this
+//! module defines the one-method [`ShardRunner`] seam instead of
+//! depending on `phoenix-exec`: `phoenix-core` adapts the deterministic
+//! pool onto it (`PoolShardRunner`), and [`SeqShardRunner`] is the
+//! dependency-free inline fallback.
+
+use crate::state::NodeId;
+
+/// Partition of the node indices `0..nodes` into contiguous, near-equal
+/// ranges (the first `nodes % shards` ranges hold one extra node).
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    /// Range boundaries: `bounds[s]..bounds[s + 1]` is shard `s`.
+    bounds: Vec<u32>,
+}
+
+impl ShardLayout {
+    /// Splits `nodes` node indices into `shards` contiguous ranges.
+    ///
+    /// The shard count is clamped to `1..=nodes` (a shard must hold at
+    /// least one node; zero nodes degenerate to a single empty shard).
+    pub fn new(nodes: usize, shards: usize) -> ShardLayout {
+        let shards = shards.clamp(1, nodes.max(1));
+        let base = nodes / shards;
+        let extra = nodes % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u32);
+        let mut at = 0usize;
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at as u32);
+        }
+        ShardLayout { bounds }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The shard holding `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the node index lies outside the
+    /// layout.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        let i = node.index() as u32;
+        debug_assert!(
+            i < *self.bounds.last().expect("layout has bounds"),
+            "{node} outside the shard layout"
+        );
+        // First boundary strictly above `i`, minus the leading 0 bound.
+        self.bounds.partition_point(|&b| b <= i) - 1
+    }
+
+    /// Node-index range of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s >= count()`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s] as usize..self.bounds[s + 1] as usize
+    }
+}
+
+/// Fit proposals one shard computed for a frozen plan chunk: one entry
+/// per pending pod, `None` when no node in the shard fits.
+pub type ShardProposals = Vec<Option<NodeId>>;
+
+/// Executes the per-shard proposal passes of sharded packing
+/// (`packing::pack_prepared_sharded`).
+///
+/// Implementations **must** call `f` exactly once per shard index in
+/// `0..shards` and return the results in shard order — the sharded
+/// driver's byte-identical-to-sequential guarantee rides on it. `f` is
+/// a pure read over frozen state, so implementations are free to run the
+/// calls on any threads in any order.
+pub trait ShardRunner {
+    /// Maps `f` over `0..shards`, returning results in shard order.
+    fn run_shards(
+        &self,
+        shards: usize,
+        f: &(dyn Fn(usize) -> ShardProposals + Sync),
+    ) -> Vec<ShardProposals>;
+}
+
+/// Runs shard passes inline on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqShardRunner;
+
+impl ShardRunner for SeqShardRunner {
+    fn run_shards(
+        &self,
+        shards: usize,
+        f: &(dyn Fn(usize) -> ShardProposals + Sync),
+    ) -> Vec<ShardProposals> {
+        (0..shards).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_every_node_contiguously() {
+        for nodes in [1usize, 2, 5, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 7, 200] {
+                let layout = ShardLayout::new(nodes, shards);
+                assert_eq!(layout.count(), shards.clamp(1, nodes));
+                let mut seen = 0usize;
+                for s in 0..layout.count() {
+                    let range = layout.range(s);
+                    assert_eq!(range.start, seen, "gap before shard {s}");
+                    assert!(!range.is_empty(), "empty shard {s}");
+                    for i in range.clone() {
+                        assert_eq!(layout.shard_of(NodeId::new(i as u32)), s);
+                    }
+                    seen = range.end;
+                }
+                assert_eq!(seen, nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn near_equal_split() {
+        let layout = ShardLayout::new(10, 4);
+        let sizes: Vec<usize> = (0..layout.count()).map(|s| layout.range(s).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn zero_nodes_degenerate_to_one_empty_shard() {
+        let layout = ShardLayout::new(0, 4);
+        assert_eq!(layout.count(), 1);
+        assert!(layout.range(0).is_empty());
+    }
+
+    #[test]
+    fn seq_runner_preserves_shard_order() {
+        let out = SeqShardRunner.run_shards(4, &|s| vec![Some(NodeId::new(s as u32))]);
+        let ids: Vec<u32> = out
+            .iter()
+            .map(|p| p[0].expect("one proposal per shard").index() as u32)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -161,6 +161,18 @@ impl SortedNodes {
     pub fn iter_asc(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         self.set.iter().map(|&(k, n)| (n, k.get()))
     }
+
+    /// Iterates tracked nodes in ascending node-id order.
+    ///
+    /// This is the first-fit scan order: O(1) per node visited, so a
+    /// caller can stop at the first fit instead of materializing every
+    /// candidate.
+    pub fn iter_by_id(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.key_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.map(|k| (NodeId::new(i as u32), k)))
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +244,17 @@ mod tests {
         let asc: Vec<_> = s.iter_asc().map(|(node, _)| node).collect();
         assert_eq!(asc, vec![n(0), n(2), n(1)]);
         assert_eq!(s.worst_fit(), Some(n(1)));
+    }
+
+    #[test]
+    fn id_order_iteration_skips_untracked() {
+        let mut s = SortedNodes::new();
+        s.insert(n(3), 2.0);
+        s.insert(n(0), 8.0);
+        s.insert(n(1), 4.0);
+        s.remove(n(1));
+        let by_id: Vec<_> = s.iter_by_id().collect();
+        assert_eq!(by_id, vec![(n(0), 8.0), (n(3), 2.0)]);
     }
 
     #[test]

@@ -214,6 +214,19 @@ impl ClusterState {
 
     /// Removes `pod` from the cluster, freeing its capacity.
     ///
+    /// `used` is recomputed exactly from the surviving pods rather than
+    /// decremented: an incremental `used -= demand` accumulates f64
+    /// rounding drift across assign/remove cycles, and drifted
+    /// remaining-capacity keys make `SortedNodes` orderings diverge
+    /// between states that hold the very same pods (warm replans churn
+    /// through thousands of such cycles). Summing in pod-list order
+    /// keeps `used` bit-identical to the running sum [`assign`] builds
+    /// (an append extends the fold at its tail), so
+    /// [`check_invariants`] can demand exact equality.
+    ///
+    /// [`assign`]: ClusterState::assign
+    /// [`check_invariants`]: ClusterState::check_invariants
+    ///
     /// # Errors
     ///
     /// [`ClusterError::UnknownPod`] when the pod is not assigned.
@@ -222,12 +235,16 @@ impl ClusterState {
             .assignments
             .remove(&pod)
             .ok_or(ClusterError::UnknownPod(pod))?;
-        let ns = &mut self.nodes[node.index()];
-        ns.used -= demand;
-        ns.used = ns.used.max(&Resources::ZERO);
-        if let Some(pos) = ns.pods.iter().position(|&p| p == pod) {
-            ns.pods.swap_remove(pos);
+        let idx = node.index();
+        if let Some(pos) = self.nodes[idx].pods.iter().position(|&p| p == pod) {
+            self.nodes[idx].pods.swap_remove(pos);
         }
+        let used: Resources = self.nodes[idx]
+            .pods
+            .iter()
+            .map(|p| self.assignments.get(p).map_or(Resources::ZERO, |&(_, d)| d))
+            .sum();
+        self.nodes[idx].used = used;
         Ok((node, demand))
     }
 
@@ -317,7 +334,10 @@ impl ClusterState {
     }
 
     /// Debug invariant check: per-node `used` equals the sum of its pods'
-    /// demands, and assignment maps agree with node pod lists.
+    /// demands **bit-for-bit** (drift-freedom — see [`remove`]), and
+    /// assignment maps agree with node pod lists.
+    ///
+    /// [`remove`]: ClusterState::remove
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, n) in self.nodes.iter().enumerate() {
             let sum: Resources = n
@@ -330,8 +350,13 @@ impl ClusterState {
                         .unwrap_or(Resources::ZERO)
                 })
                 .sum();
-            if (sum.cpu - n.used.cpu).abs() > 1e-6 || (sum.mem - n.used.mem).abs() > 1e-6 {
-                return Err(format!("node {i}: used {} != pod sum {sum}", n.used));
+            if sum.cpu.to_bits() != n.used.cpu.to_bits()
+                || sum.mem.to_bits() != n.used.mem.to_bits()
+            {
+                return Err(format!(
+                    "node {i}: used {} drifted from pod sum {sum}",
+                    n.used
+                ));
             }
             if !n.used.fits_in(&n.capacity) {
                 return Err(format!(

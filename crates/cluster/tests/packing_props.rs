@@ -56,9 +56,17 @@ proptest! {
         for &(p, _) in &out.starts {
             prop_assert!(plan.iter().any(|pp| pp.key == p));
         }
-        // 5. Deletions ∩ final assignments = ∅.
+        // 5. A deleted pod is really gone (never also re-placed — a victim
+        //    re-placed at its own rank collapses to a keep or migration),
+        //    and no pod is ever reported both deleted and started: that
+        //    pair would restart a running pod, which cooperative
+        //    degradation forbids.
         for &p in &out.deletions {
-            prop_assert!(state.node_of(p).is_none() || out.starts.iter().any(|&(sp, _)| sp == p));
+            prop_assert!(state.node_of(p).is_none(), "deleted {p} still assigned");
+            prop_assert!(
+                !out.starts.iter().any(|&(sp, _)| sp == p),
+                "{p} reported deleted and started"
+            );
         }
     }
 
@@ -87,6 +95,56 @@ proptest! {
             (assignment, out.unplaced)
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Regression pin for the first-fit scan rewrite: the old
+    /// implementation materialized every fitting node from the
+    /// capacity-sorted view and took `.min()` (an O(nodes) scan per
+    /// placement); the new one walks ids ascending and stops at the
+    /// first fit. Placements must be identical — on a fresh cluster with
+    /// migration off, packing is a pure sequence of first-fit queries,
+    /// so an oracle re-implementing the old "min id among all fitting
+    /// nodes" rule must reproduce the exact assignment.
+    #[test]
+    fn first_fit_scan_matches_min_id_oracle(
+        caps in proptest::collection::vec(2.0f64..16.0, 1..10),
+        demands in proptest::collection::vec(0.5f64..6.0, 0..40),
+        limit in proptest::option::of(1usize..6),
+    ) {
+        let plan: Vec<PlannedPod> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::cpu(d)))
+            .collect();
+        let cfg = PackingConfig {
+            fit: FitStrategy::FirstFit,
+            enable_migration: false,
+            max_pods_per_node: limit,
+            ..PackingConfig::default()
+        };
+        let mut state = ClusterState::new(caps.iter().map(|&c| Resources::cpu(c)));
+        let out = pack(&mut state, &plan, &cfg);
+
+        let mut oracle = ClusterState::new(caps.iter().map(|&c| Resources::cpu(c)));
+        let mut oracle_unplaced: Vec<PodKey> = Vec::new();
+        for p in &plan {
+            let fit = oracle
+                .node_ids()
+                .into_iter()
+                .filter(|&n| {
+                    p.demand.fits_in(&oracle.remaining(n))
+                        && limit.is_none_or(|cap| oracle.pods_on(n).len() < cap)
+                })
+                .min();
+            match fit {
+                Some(n) => oracle.assign(p.key, p.demand, n).unwrap(),
+                None => oracle_unplaced.push(p.key),
+            }
+        }
+        prop_assert_eq!(out.unplaced, oracle_unplaced);
+        for p in &plan {
+            prop_assert_eq!(state.node_of(p.key), oracle.node_of(p.key), "{}", p.key);
+        }
     }
 
     #[test]

@@ -243,6 +243,50 @@ mod tests {
     }
 
     #[test]
+    fn no_pod_is_ever_deleted_and_started_in_one_plan() {
+        // The shape that used to report a victim in both `deletions` and
+        // `starts` (delete-lower-ranks frees node1 for rank 0, then the
+        // victim is re-placed at its own rank on node0). The outcome must
+        // collapse the pair into a migration, and the derived action plan
+        // must touch each pod at most once — a delete + start pair would
+        // spuriously restart a running pod.
+        let mut live = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        live.assign(pod(1), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(2), Resources::cpu(3.0), NodeId::new(0))
+            .unwrap();
+        live.assign(pod(3), Resources::cpu(4.0), NodeId::new(1))
+            .unwrap();
+        let plan = vec![
+            PlannedPod::new(pod(0), Resources::cpu(8.0)),
+            PlannedPod::new(pod(1), Resources::cpu(3.0)),
+            PlannedPod::new(pod(2), Resources::cpu(3.0)),
+            PlannedPod::new(pod(3), Resources::cpu(4.0)),
+        ];
+        for enable_migration in [false, true] {
+            let cfg = PackingConfig {
+                enable_migration,
+                ..PackingConfig::default()
+            };
+            let mut target = live.clone();
+            let outcome = pack(&mut target, &plan, &cfg);
+            for &(p, _) in &outcome.starts {
+                assert!(
+                    !outcome.deletions.contains(&p),
+                    "{p} reported deleted and started"
+                );
+            }
+            let actions = diff_from_outcome(&live, &target, &outcome);
+            assert_eq!(actions, diff_states(&live, &target));
+            let mut pods: Vec<PodKey> = actions.actions.iter().map(Action::pod).collect();
+            pods.sort_unstable();
+            let before = pods.len();
+            pods.dedup();
+            assert_eq!(pods.len(), before, "one pod got multiple actions");
+        }
+    }
+
+    #[test]
     fn identical_states_need_no_actions() {
         let mut live = ClusterState::homogeneous(1, Resources::cpu(10.0));
         live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0))

@@ -3,7 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use phoenix_cluster::packing::{pack, PackOutcome, PackingConfig, PlannedPod};
+use phoenix_cluster::packing::{pack, pack_sharded, PackOutcome, PackingConfig, PlannedPod};
+use phoenix_cluster::shard::{ShardProposals, ShardRunner};
 use phoenix_cluster::ClusterState;
 use phoenix_exec::Pool;
 
@@ -141,14 +142,37 @@ pub fn plan_with(workload: &Workload, state: &ClusterState, config: &PhoenixConf
     plan_with_pool(workload, state, config, phoenix_exec::global())
 }
 
+/// Runs sharded-packing proposal passes on a [`Pool`].
+///
+/// `phoenix-cluster` defines the [`ShardRunner`] seam without depending
+/// on the execution substrate (substrate crates carry no intra-workspace
+/// deps); this adapter is the one place the two meet. Inherits the
+/// pool's determinism contract: results come back in shard order
+/// whatever the thread count, and nested fan-out self-suppresses.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolShardRunner<'a>(pub &'a Pool);
+
+impl ShardRunner for PoolShardRunner<'_> {
+    fn run_shards(
+        &self,
+        shards: usize,
+        f: &(dyn Fn(usize) -> ShardProposals + Sync),
+    ) -> Vec<ShardProposals> {
+        self.0.par_map_range(shards, |s| f(s))
+    }
+}
+
 /// [`plan_with`] on an explicit [`Pool`].
 ///
 /// The per-app priority-estimation walks ([`app_rank`]) fan out across
 /// the pool — they read disjoint [`AppSpec`]s and meet again in app-id
-/// order — while the global-ranking heap merge and packing stay
-/// sequential, so the output is **byte-identical for every thread
-/// count** (see the thread-invariance tests below and in
-/// [`crate::replan`]).
+/// order — while the global-ranking heap merge stays sequential, so the
+/// output is **byte-identical for every thread count** (see the
+/// thread-invariance tests below and in [`crate::replan`]). Packing is
+/// sequential by default; with [`PackingConfig::shards`] `> 1` its fit
+/// scans fan out over node shards on the same pool, with output
+/// byte-identical to the sequential pack by the ordered-merge contract
+/// (`phoenix_cluster::packing`).
 pub fn plan_with_pool(
     workload: &Workload,
     state: &ClusterState,
@@ -184,7 +208,11 @@ pub fn plan_with_pool(
         })
         .collect();
     let mut target = state.clone();
-    let packing = pack(&mut target, &plan, &config.packing);
+    let packing = if config.packing.shards > 1 {
+        pack_sharded(&mut target, &plan, &config.packing, &PoolShardRunner(pool))
+    } else {
+        pack(&mut target, &plan, &config.packing)
+    };
     let scheduler_time = t1.elapsed();
 
     let actions = diff_states(state, &target);
@@ -317,6 +345,27 @@ mod tests {
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&seq.rank.fair_shares), bits(&par.rank.fair_shares));
             assert_eq!(bits(&seq.rank.allocated), bits(&par.rank.allocated));
+        }
+    }
+
+    #[test]
+    fn sharded_packing_is_equivalent_and_thread_invariant() {
+        let w = workload();
+        let mut state = ClusterState::homogeneous(5, Resources::cpu(3.0));
+        state.fail_node(NodeId::new(4));
+        let seq = plan_with_pool(&w, &state, &PhoenixConfig::default(), &Pool::sequential());
+        for shards in [2usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let mut cfg = PhoenixConfig::default();
+                cfg.packing.shards = shards;
+                let par = plan_with_pool(&w, &state, &cfg, &Pool::new(threads));
+                let tag = format!("shards {shards} threads {threads}");
+                assert_eq!(seq.actions, par.actions, "{tag}");
+                assert_eq!(seq.packing.deletions, par.packing.deletions, "{tag}");
+                assert_eq!(seq.packing.migrations, par.packing.migrations, "{tag}");
+                assert_eq!(seq.packing.starts, par.packing.starts, "{tag}");
+                assert_eq!(seq.packing.unplaced, par.packing.unplaced, "{tag}");
+            }
         }
     }
 

@@ -40,12 +40,12 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use phoenix_cluster::packing::{pack_prepared, PlannedPod};
+use phoenix_cluster::packing::{pack_prepared, pack_prepared_sharded, PlannedPod};
 use phoenix_cluster::{ClusterState, PodKey};
 use phoenix_exec::Pool;
 
 use crate::actions::diff_from_outcome;
-use crate::controller::{PhoenixConfig, PlanResult};
+use crate::controller::{PhoenixConfig, PlanResult, PoolShardRunner};
 use crate::objectives::ObjectiveKind;
 use crate::planner::{app_rank, PlannerConfig};
 use crate::ranking::{
@@ -288,10 +288,13 @@ pub fn replan_with(
 }
 
 /// [`replan_with`] on an explicit [`Pool`]: the fingerprint sweep and
-/// invalidated per-app rank walks fan out; the merge, packing, and every
-/// cache decision stay sequential, so warm output remains byte-identical
-/// to a cold [`plan_with`](crate::controller::plan_with) for every
-/// thread count.
+/// invalidated per-app rank walks fan out; the merge and every cache
+/// decision stay sequential, so warm output remains byte-identical to a
+/// cold [`plan_with`](crate::controller::plan_with) for every thread
+/// count. Packing is sequential by default; with
+/// [`PackingConfig::shards`](phoenix_cluster::packing::PackingConfig::shards)
+/// `> 1` its fit scans fan out over node shards on the same pool —
+/// still byte-identical by the ordered-merge contract.
 pub fn replan_with_pool(
     workload: &Workload,
     state: &ClusterState,
@@ -407,9 +410,19 @@ pub fn replan_with_pool(
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
     let mut target = state.clone();
-    let packing = pack_prepared(&mut target, &cache.plan, &config.packing, |p| {
-        cache.plan_index.get(p)
-    });
+    let packing = if config.packing.shards > 1 {
+        pack_prepared_sharded(
+            &mut target,
+            &cache.plan,
+            &config.packing,
+            |p| cache.plan_index.get(p),
+            &PoolShardRunner(pool),
+        )
+    } else {
+        pack_prepared(&mut target, &cache.plan, &config.packing, |p| {
+            cache.plan_index.get(p)
+        })
+    };
     let scheduler_time = t1.elapsed();
 
     let actions = diff_from_outcome(state, &target, &packing);
@@ -584,6 +597,50 @@ mod tests {
     fn warm_equals_cold_under_churn_fairness() {
         churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::Full);
         churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::CapacityOnly);
+    }
+
+    /// Warm *sharded* replans vs. cold *unsharded* sequential plans over
+    /// the same churn scenario: covers warm/cold, sharded/sequential, and
+    /// parallel/sequential equivalence in one sweep.
+    #[test]
+    fn sharded_warm_replans_match_unsharded_cold_plans() {
+        for kind in [ObjectiveKind::Fairness, ObjectiveKind::Cost] {
+            for threads in [1usize, 4] {
+                let pool = Pool::new(threads);
+                let w = workload(3);
+                let cold_config = PhoenixConfig::with_objective(kind);
+                let mut warm_config = PhoenixConfig::with_objective(kind);
+                warm_config.packing.shards = 3;
+                warm_config.packing.shard_chunk = 2;
+                let mut cache = ReplanCache::new();
+                let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+                for round in 0..5u32 {
+                    let cold = plan_with_pool(&w, &live, &cold_config, &Pool::sequential());
+                    let warm = replan_with_pool(
+                        &w,
+                        &live,
+                        &warm_config,
+                        &mut cache,
+                        ReplanDelta::Full,
+                        &pool,
+                    );
+                    assert_equivalent(&cold, &warm);
+                    live = warm.target.clone();
+                    match round {
+                        0 => {
+                            live.fail_node(NodeId::new(0));
+                        }
+                        1 => {
+                            live.fail_node(NodeId::new(1));
+                            live.fail_node(NodeId::new(2));
+                        }
+                        _ => {
+                            live.restore_node(NodeId::new(round % 3));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The tentpole property: sharded packing on the `phoenix-exec` pool is
+//! **byte-identical** to the sequential Algorithm-2 pack — over random
+//! clusters × plans × shard counts × chunk sizes × threads ∈ {1, 4},
+//! including repack-rollback shapes (tight migration budgets), the
+//! delete-lower-ranks fallback (pre-existing pods), diagonal-scaling
+//! drops (running pods absent from the plan), strict aborts, per-node
+//! pod caps, and two-dimensional demands.
+//!
+//! This lives in `phoenix-core` (not `phoenix-cluster`) because the
+//! substrate crates carry no intra-workspace dependencies: the cluster
+//! crate's own tests cover the inline [`SeqShardRunner`], while these
+//! drive the real pool through [`PoolShardRunner`].
+//!
+//! [`SeqShardRunner`]: phoenix_cluster::SeqShardRunner
+//! [`PoolShardRunner`]: phoenix_core::controller::PoolShardRunner
+
+use phoenix_cluster::packing::{pack, pack_sharded, FitStrategy, PackingConfig, PlannedPod};
+use phoenix_cluster::{ClusterState, NodeId, PodKey, Resources};
+use phoenix_core::controller::PoolShardRunner;
+use phoenix_exec::Pool;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    caps: Vec<(f64, f64)>,
+    fail_mask: Vec<bool>,
+    /// Plan entries: `(cpu, mem, pre_existing)` — pre-existing pods are
+    /// assigned (first-fit) before the pack, so victim/keep paths fire.
+    plan: Vec<(f64, f64, bool)>,
+    /// Running pods absent from the plan (diagonal-scaling deletions).
+    extra: Vec<f64>,
+    cfg: PackingConfig,
+    shards: usize,
+    chunk: usize,
+    threads: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((3.0f64..16.0, 2.0f64..20.0), 1..14),
+        proptest::collection::vec(any::<bool>(), 1..14),
+        proptest::collection::vec((0.5f64..7.0, 0.0f64..6.0, any::<bool>()), 0..50),
+        proptest::collection::vec(0.5f64..4.0, 0..5),
+        (0u8..3, any::<bool>(), any::<bool>(), 1usize..3, 1usize..4),
+        proptest::option::of(1usize..6),
+        (1usize..10, 0usize..40, 0u8..2),
+    )
+        .prop_map(|(caps, fail_mask, plan, extra, knobs, pod_cap, shape)| {
+            let (fit, strict, enable_migration, moves, nodes_budget) = knobs;
+            let (shards, chunk, threads) = shape;
+            Scenario {
+                caps,
+                fail_mask,
+                plan,
+                extra,
+                cfg: PackingConfig {
+                    fit: match fit {
+                        0 => FitStrategy::BestFit,
+                        1 => FitStrategy::FirstFit,
+                        _ => FitStrategy::WorstFit,
+                    },
+                    strict,
+                    enable_migration,
+                    max_migration_moves: moves,
+                    max_migration_nodes: nodes_budget,
+                    max_pods_per_node: pod_cap,
+                    ..PackingConfig::default()
+                },
+                shards,
+                chunk,
+                threads: if threads == 0 { 1 } else { 4 },
+            }
+        })
+}
+
+/// Builds the pre-pack cluster: failed nodes failed, pre-existing plan
+/// pods and extra (unplanned) pods assigned first-fit by node id.
+fn build_state(s: &Scenario) -> (ClusterState, Vec<PlannedPod>) {
+    let mut state = ClusterState::new(s.caps.iter().map(|&(c, m)| Resources::new(c, m)));
+    for (i, &down) in s.fail_mask.iter().take(s.caps.len()).enumerate() {
+        if down {
+            state.fail_node(NodeId::new(i as u32));
+        }
+    }
+    let plan: Vec<PlannedPod> = s
+        .plan
+        .iter()
+        .enumerate()
+        .map(|(i, &(cpu, mem, _))| {
+            PlannedPod::new(PodKey::new(0, i as u32, 0), Resources::new(cpu, mem))
+        })
+        .collect();
+    let mut seed_pods: Vec<(PodKey, Resources)> = s
+        .plan
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(_, _, pre))| pre)
+        .map(|(i, &(cpu, mem, _))| (PodKey::new(0, i as u32, 0), Resources::new(cpu, mem)))
+        .collect();
+    seed_pods.extend(
+        s.extra
+            .iter()
+            .enumerate()
+            .map(|(j, &cpu)| (PodKey::new(0, 10_000 + j as u32, 0), Resources::cpu(cpu))),
+    );
+    for (pod, demand) in seed_pods {
+        let target = state
+            .node_ids()
+            .into_iter()
+            .find(|&n| state.is_healthy(n) && demand.fits_in(&state.remaining(n)));
+        if let Some(n) = target {
+            state.assign(pod, demand, n).unwrap();
+        }
+    }
+    (state, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sharded_pack_is_byte_identical_to_sequential(s in arb_scenario()) {
+        let (state, plan) = build_state(&s);
+
+        let mut seq_state = state.clone();
+        let seq = pack(&mut seq_state, &plan, &s.cfg);
+
+        let mut cfg = s.cfg.clone();
+        cfg.shards = s.shards;
+        cfg.shard_chunk = s.chunk;
+        let pool = Pool::new(s.threads);
+        let mut shard_state = state.clone();
+        let out = pack_sharded(&mut shard_state, &plan, &cfg, &PoolShardRunner(&pool));
+
+        prop_assert_eq!(&out.deletions, &seq.deletions);
+        prop_assert_eq!(&out.migrations, &seq.migrations);
+        prop_assert_eq!(&out.starts, &seq.starts);
+        prop_assert_eq!(&out.unplaced, &seq.unplaced);
+        prop_assert_eq!(out.aborted, seq.aborted);
+
+        let placements = |st: &ClusterState| {
+            let mut v: Vec<(PodKey, NodeId)> = st.assignments().map(|(p, n, _)| (p, n)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(placements(&shard_state), placements(&seq_state));
+        for n in shard_state.node_ids() {
+            prop_assert_eq!(
+                shard_state.remaining(n).cpu.to_bits(),
+                seq_state.remaining(n).cpu.to_bits(),
+                "cpu keys diverged on {}", n
+            );
+            prop_assert_eq!(
+                shard_state.remaining(n).mem.to_bits(),
+                seq_state.remaining(n).mem.to_bits(),
+                "mem keys diverged on {}", n
+            );
+        }
+        shard_state.check_invariants().unwrap();
+
+        // The acceptance contract: no pod is ever reported both deleted
+        // and started.
+        for &(p, _) in &out.starts {
+            prop_assert!(!out.deletions.contains(&p), "{} deleted and started", p);
+        }
+    }
+}
