@@ -1,7 +1,9 @@
 //! Determinism probe: emits every class of parallelised output — cold
 //! plans, warm replans over a churn scenario, sharded-packing churn
 //! rounds, a kubesim node-failure run, a multi-trial AdaptLab sweep,
-//! and a chaos audit — with all wall-clock fields stripped.
+//! a fixed-seed scenario campaign (every family × 5 scenarios, plus the
+//! scripted adaptlab sweep), and a chaos audit — with all wall-clock
+//! fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
 //! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
@@ -209,6 +211,98 @@ fn probe_sweep() {
     }
 }
 
+/// Fixed-seed scenario campaign: every generated family × 5 scenarios
+/// through the campaign runner (and the scripted adaptlab sweep), with
+/// every float printed as bits and wall-clock omitted. This is the CI
+/// guarantee behind the scenario engine: `PHOENIX_THREADS` moves only
+/// wall-clock, never a scorecard byte.
+fn probe_scenarios() {
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+    use phoenix_scenarios::campaign::{demo_workload, run_campaign, CampaignConfig};
+    use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
+
+    let suite = generate_suite(&GeneratorConfig {
+        nodes: 8,
+        node_cpu: 4.0,
+        scenarios_per_family: 5,
+        apps: 3,
+        seed: 42,
+    });
+    let policies: Vec<Box<dyn ResiliencePolicy>> =
+        vec![Box::new(PhoenixPolicy::fair()), Box::new(DefaultPolicy)];
+    let outcome = run_campaign(
+        &demo_workload(3),
+        &suite,
+        &policies,
+        &CampaignConfig::default(),
+    )
+    .expect("generated suite is valid");
+    for s in &outcome.scores {
+        println!(
+            "scenario {} {} rto={} outages={} viol={} min={} final={} c1={:?} plans={}",
+            s.scenario,
+            s.policy,
+            s.rto_satisfied,
+            s.outages,
+            s.violations,
+            s.min_availability.to_bits(),
+            s.final_availability.to_bits(),
+            s.worst_c1_recovery_ms,
+            s.plans,
+        );
+    }
+    for c in &outcome.scorecards {
+        println!(
+            "scorecard {} {} n={} pass={} viol={} min={} final={} c1={:?}",
+            c.family,
+            c.policy,
+            c.scenarios,
+            c.rto_pass,
+            c.violations,
+            c.mean_min_availability.to_bits(),
+            c.mean_final_availability.to_bits(),
+            c.worst_c1_recovery_ms,
+        );
+    }
+
+    // The scripted plans-only sweep over the same families.
+    let env = EnvConfig {
+        nodes: 40,
+        node_capacity: 64.0,
+        target_utilization: 0.7,
+        resource_model: ResourceModel::CallsPerMinute,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            apps: 5,
+            max_services: 80,
+            max_requests: 40_000.0,
+            ..AlibabaConfig::default()
+        },
+        seed: 3,
+    };
+    let scripted_suite = generate_suite(&GeneratorConfig {
+        nodes: 40,
+        node_cpu: 64.0,
+        scenarios_per_family: 1,
+        apps: 5,
+        seed: 3,
+    });
+    for p in phoenix_adaptlab::runner::scripted_sweep(&env, &scripted_suite, &standard_roster())
+        .expect("generated suite is valid")
+    {
+        println!(
+            "scripted {} {} avail={} rev={} fair+={} fair-={} util={}",
+            p.scenario,
+            p.policy,
+            p.metrics.availability.to_bits(),
+            p.metrics.revenue.to_bits(),
+            p.metrics.fairness_pos.to_bits(),
+            p.metrics.fairness_neg.to_bits(),
+            p.metrics.utilization.to_bits(),
+        );
+    }
+}
+
 /// Chaos tag audits for both reference applications.
 fn probe_audit() {
     for model in [
@@ -244,5 +338,6 @@ fn main() {
     probe_sharded();
     probe_kubesim();
     probe_sweep();
+    probe_scenarios();
     probe_audit();
 }

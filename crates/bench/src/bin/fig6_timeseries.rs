@@ -80,7 +80,7 @@ fn main() {
     // (a)/(b): milestones + availability over time.
     println!("=== Fig 6(a) milestones (PhoenixFair) ===");
     for m in &phoenix_trace.milestones {
-        println!("  {:>7}  {}", m.at.to_string(), m.label);
+        println!("  {:>7}  {}", m.at.to_string(), m.label());
     }
     let times: Vec<u64> = (0..=2100).step_by(step as usize).collect();
     let phx_avail = availability_series(&phoenix_trace, &workload, &models, &times);

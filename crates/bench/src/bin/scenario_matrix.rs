@@ -1,0 +1,102 @@
+//! Scenario-matrix campaign: generate the full scenario-family suite at a
+//! fixed seed, fan it over the `phoenix-exec` pool against the policy
+//! roster, and print one scorecard row per `(family, policy)` cell.
+//!
+//! Flags:
+//!
+//! * `--smoke`     small suite (8 nodes, 5 scenarios/family) that finishes
+//!   in seconds — the shape CI and `BENCH_planner.json` record;
+//! * `--full`      wider suite (16 nodes, 8 scenarios/family, 5 policies);
+//! * `--seed N`    generator seed (default 42);
+//! * `--json FILE` also write the suite + outcome as JSON;
+//! * `--threads N` pool workers (byte-identical output for any value).
+
+use std::time::Instant;
+
+use phoenix_bench::{arg, f3, flag, init_threads, Table};
+use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+use phoenix_scenarios::campaign::{demo_workload, run_campaign, CampaignConfig};
+use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
+use phoenix_scenarios::model;
+
+fn main() {
+    let threads = init_threads();
+    let full = flag("full");
+    let seed: u64 = arg("seed", 42);
+    let gen_cfg = GeneratorConfig {
+        nodes: if full { 16 } else { 8 },
+        node_cpu: 4.0,
+        scenarios_per_family: if full { 8 } else { 5 },
+        apps: 3,
+        seed,
+    };
+    let suite = generate_suite(&gen_cfg);
+    let workload = demo_workload(gen_cfg.apps);
+    let policies: Vec<Box<dyn ResiliencePolicy>> = if full {
+        phoenix_core::policies::standard_roster()
+    } else {
+        vec![
+            Box::new(PhoenixPolicy::fair()),
+            Box::new(PhoenixPolicy::cost()),
+            Box::new(DefaultPolicy),
+        ]
+    };
+
+    println!(
+        "scenario matrix: {} scenarios ({} families x {}), {} policies, {} nodes, seed {seed}, {threads} thread(s)",
+        suite.scenarios.len(),
+        phoenix_scenarios::generate::Family::all().len(),
+        gen_cfg.scenarios_per_family,
+        policies.len(),
+        gen_cfg.nodes,
+    );
+
+    let start = Instant::now();
+    let outcome = run_campaign(&workload, &suite, &policies, &CampaignConfig::default())
+        .expect("generated suite is valid");
+    let wall = start.elapsed();
+
+    let mut table = Table::new([
+        "family",
+        "policy",
+        "scenarios",
+        "rto_pass",
+        "violations",
+        "min_avail",
+        "final_avail",
+        "worst_c1_recovery",
+    ]);
+    for c in &outcome.scorecards {
+        table.row([
+            c.family.clone(),
+            c.policy.clone(),
+            c.scenarios.to_string(),
+            c.rto_pass.to_string(),
+            c.violations.to_string(),
+            f3(c.mean_min_availability),
+            f3(c.mean_final_availability),
+            c.worst_c1_recovery_ms
+                .map_or("-".to_string(), |ms| format!("{:.1}s", ms as f64 / 1000.0)),
+        ]);
+    }
+    table.print("Scenario matrix scorecards");
+    println!(
+        "\ncampaign wall-clock: {:.2}s ({} simulations)",
+        wall.as_secs_f64(),
+        outcome.scores.len()
+    );
+
+    if let Some(path) = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone())
+    {
+        let suite_json = model::to_json(&suite).expect("suite serializes");
+        let outcome_json =
+            phoenix_scenarios::campaign::outcome_to_json(&outcome).expect("outcome serializes");
+        let doc = format!("{{\n\"suite\": {suite_json},\n\"outcome\": {outcome_json}\n}}\n");
+        std::fs::write(&path, doc).expect("write json output");
+        println!("wrote {path}");
+    }
+}

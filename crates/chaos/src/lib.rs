@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod node_chaos;
+pub mod scenario_chaos;
 
 use phoenix_apps::AppModel;
 use phoenix_core::spec::ServiceId;

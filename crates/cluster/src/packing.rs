@@ -241,6 +241,9 @@ pub fn pack_prepared_sharded(
         auto_chunk(plan.len(), shards)
     };
 
+    // Tournament scratch, reused across every placement of the pack so
+    // the merge allocates once, not once per pod.
+    let mut scratch: Vec<(OrderedF64, NodeId)> = Vec::with_capacity(shards);
     let mut start = 0usize;
     while start < plan.len() {
         let end = plan.len().min(start + chunk);
@@ -290,7 +293,15 @@ pub fn pack_prepared_sharded(
             &mut out,
             start..end,
             |state, book, rank, demand| {
-                merged_fit(state, book, cfg, demand, pend_of[rank - start], &proposals)
+                merged_fit(
+                    state,
+                    book,
+                    cfg,
+                    demand,
+                    pend_of[rank - start],
+                    &proposals,
+                    &mut scratch,
+                )
             },
         );
         if aborted {
@@ -492,6 +503,7 @@ fn place_range(
 /// frozen proposal row (`frozen_row`, absent for pods that were running
 /// at the freeze); dirty shards — and every shard of a proposal-less pod
 /// — replay [`try_fit`] against their live mirror.
+#[allow(clippy::too_many_arguments)]
 fn merged_fit(
     state: &ClusterState,
     book: &NodeBook,
@@ -499,40 +511,68 @@ fn merged_fit(
     demand: Resources,
     frozen_row: Option<usize>,
     proposals: &[ShardProposals],
+    scratch: &mut Vec<(OrderedF64, NodeId)>,
 ) -> Option<NodeId> {
     let mirror = book.shards.as_ref().expect("sharded book");
-    let mut best: Option<(OrderedF64, NodeId)> = None;
-    for s in 0..mirror.sorted.len() {
-        let cand = match frozen_row {
-            Some(row) if !mirror.dirty[s] => proposals[s][row],
-            _ => try_fit(state, &mirror.sorted[s], demand, cfg),
-        };
-        let Some(node) = cand else { continue };
-        let keyed = (
-            OrderedF64::new(mirror.sorted[s].key(node).expect("candidate is tracked")),
-            node,
-        );
-        match cfg.fit {
-            // Shards are contiguous ascending id ranges, so the first
-            // shard with a fit holds the globally lowest-id fitting node.
-            FitStrategy::FirstFit => return Some(node),
-            // The global best fit is the smallest (key, id) among the
-            // shards' local best fits: every candidate ordered before a
-            // shard's first fit does not fit, in any shard.
-            FitStrategy::BestFit => {
-                if best.is_none_or(|b| keyed < b) {
-                    best = Some(keyed);
-                }
-            }
-            // Symmetrically, worst fit is the largest (key, id).
-            FitStrategy::WorstFit => {
-                if best.is_none_or(|b| keyed > b) {
-                    best = Some(keyed);
-                }
-            }
-        }
+    let shard_candidate = |s: usize| match frozen_row {
+        Some(row) if !mirror.dirty[s] => proposals[s][row],
+        _ => try_fit(state, &mirror.sorted[s], demand, cfg),
+    };
+    if cfg.fit == FitStrategy::FirstFit {
+        // Shards are contiguous ascending id ranges, so the first shard
+        // with a fit holds the globally lowest-id fitting node — later
+        // shards need not even be consulted.
+        return (0..mirror.sorted.len()).find_map(shard_candidate);
     }
-    best.map(|(_, n)| n)
+    // The global best (worst) fit is the smallest (largest) (key, id)
+    // among the shards' local best fits: every candidate ordered before a
+    // shard's first fit does not fit, in any shard. Gather the per-shard
+    // candidates in shard order (into the caller's reused scratch — no
+    // per-placement allocation), then reduce them in a tournament.
+    scratch.clear();
+    scratch.extend((0..mirror.sorted.len()).filter_map(|s| {
+        shard_candidate(s).map(|node| {
+            (
+                OrderedF64::new(mirror.sorted[s].key(node).expect("candidate is tracked")),
+                node,
+            )
+        })
+    }));
+    tournament_extremum(scratch, cfg.fit == FitStrategy::WorstFit).map(|(_, n)| n)
+}
+
+/// Pairwise tournament over the per-shard fit candidates in `round`:
+/// each round plays adjacent pairs and advances the winner (the smaller
+/// `(key, id)` for best-fit, the larger for worst-fit; an odd straggler
+/// gets a bye), compacting **in place** into the buffer's prefix — the
+/// whole bracket is `n − 1` comparisons and zero allocation (the caller
+/// reuses one scratch buffer across the pack). The buffer's contents are
+/// scrapped, not restored.
+///
+/// Byte-identical to the linear running-extremum scan it replaced: node
+/// ids are unique, so the `(key, id)` pairs are strictly totally ordered
+/// and the extremum is the same element under **any** reduction tree.
+/// What the bracket buys is comparison-dependency depth — ⌈log₂ s⌉
+/// rounds of independent pairings instead of an `s`-long serial chain
+/// through one accumulator — which trims the merge constant at large
+/// shard counts.
+fn tournament_extremum(
+    round: &mut [(OrderedF64, NodeId)],
+    prefer_larger: bool,
+) -> Option<(OrderedF64, NodeId)> {
+    let mut len = round.len();
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let (a, b) = (round[2 * i], round[2 * i + 1]);
+            round[i] = if prefer_larger { a.max(b) } else { a.min(b) };
+        }
+        if len % 2 == 1 {
+            round[half] = round[len - 1];
+        }
+        len = half + len % 2;
+    }
+    round.first().copied()
 }
 
 /// Whether `node` can take `demand`: capacity in both dimensions plus the
@@ -1272,6 +1312,36 @@ mod tests {
         let out_b = pack(&mut b, &plan, &PackingConfig::default());
         assert_eq!(out_a.starts, out_b.starts);
         assert_eq!(out_a.unplaced, out_b.unplaced);
+    }
+
+    #[test]
+    fn tournament_matches_linear_extremum_scan() {
+        // The bracket must pick exactly what the serial running-extremum
+        // scan picked, for every length (odd lengths exercise the bye).
+        let keys = [3.0, 1.0, 4.0, 1.5, 9.0, 2.0, 6.0, 5.0, 3.5];
+        for len in 0..=keys.len() {
+            let cands: Vec<(OrderedF64, NodeId)> = keys[..len]
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (OrderedF64::new(k), NodeId::new(i as u32)))
+                .collect();
+            let linear_min = cands.iter().copied().min();
+            let linear_max = cands.iter().copied().max();
+            assert_eq!(tournament_extremum(&mut cands.clone(), false), linear_min);
+            assert_eq!(tournament_extremum(&mut cands.clone(), true), linear_max);
+        }
+        // Equal keys break ties on node id, same as the linear scan.
+        let tied: Vec<(OrderedF64, NodeId)> = (0..5)
+            .map(|i| (OrderedF64::new(2.0), NodeId::new(i)))
+            .collect();
+        assert_eq!(
+            tournament_extremum(&mut tied.clone(), false),
+            Some((OrderedF64::new(2.0), NodeId::new(0)))
+        );
+        assert_eq!(
+            tournament_extremum(&mut tied.clone(), true),
+            Some((OrderedF64::new(2.0), NodeId::new(4)))
+        );
     }
 
     #[test]

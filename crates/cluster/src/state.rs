@@ -61,7 +61,27 @@ struct NodeState {
     capacity: Resources,
     used: Resources,
     healthy: bool,
+    /// Gray-failure factor in `[0, 1]`: the fraction of nominal capacity
+    /// the node can actually deliver (software aging, thermal throttling,
+    /// a sick disk). `1.0` = fully healthy capacity.
+    degrade: f64,
     pods: Vec<PodKey>,
+}
+
+impl NodeState {
+    /// Capacity the node can actually deliver right now.
+    ///
+    /// Guarded so the undegraded path returns the nominal capacity
+    /// **bit-for-bit** (no `* 1.0` round trip), keeping every pre-existing
+    /// trace and `SortedNodes` key exactly what it was before partial
+    /// degradation existed.
+    fn effective(&self) -> Resources {
+        if self.degrade == 1.0 {
+            self.capacity
+        } else {
+            self.capacity * self.degrade
+        }
+    }
 }
 
 /// The cluster: nodes with capacities, pod assignments, health status.
@@ -87,6 +107,7 @@ impl ClusterState {
                     capacity,
                     used: Resources::ZERO,
                     healthy: true,
+                    degrade: 1.0,
                     pods: Vec::new(),
                 })
                 .collect(),
@@ -137,7 +158,9 @@ impl ClusterState {
         self.nodes[node.index()].used
     }
 
-    /// Remaining capacity on `node` (zero when failed).
+    /// Remaining capacity on `node` (zero when failed), measured against
+    /// the node's *effective* capacity — a partially degraded node offers
+    /// only `capacity × degrade_factor`.
     ///
     /// # Panics
     ///
@@ -145,10 +168,64 @@ impl ClusterState {
     pub fn remaining(&self, node: NodeId) -> Resources {
         let n = &self.nodes[node.index()];
         if n.healthy {
-            n.capacity.saturating_sub(&n.used)
+            n.effective().saturating_sub(&n.used)
         } else {
             Resources::ZERO
         }
+    }
+
+    /// Capacity `node` can actually deliver: nominal scaled by the
+    /// gray-failure factor (equal to [`capacity`](ClusterState::capacity)
+    /// while undegraded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn effective_capacity(&self, node: NodeId) -> Resources {
+        self.nodes[node.index()].effective()
+    }
+
+    /// The node's gray-failure factor (`1.0` = full nominal capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn degrade_factor(&self, node: NodeId) -> f64 {
+        self.nodes[node.index()].degrade
+    }
+
+    /// Partially degrades (or restores) `node`: its effective capacity
+    /// becomes `capacity × factor` (`factor` clamped to `[0, 1]`; `1.0`
+    /// restores full capacity). The node keeps serving — this is the gray
+    /// failure the stop/start vocabulary cannot express — but pods that no
+    /// longer fit are evicted newest-assigned-first until the survivors
+    /// fit, and returned with their demands (for restart planning).
+    ///
+    /// Degradation is orthogonal to health: failing and restoring a node
+    /// does not reset the factor, and degrading a failed (empty) node only
+    /// records the factor for when it returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn set_degrade(&mut self, node: NodeId, factor: f64) -> Vec<(PodKey, Resources)> {
+        let idx = node.index();
+        self.nodes[idx].degrade = factor.clamp(0.0, 1.0);
+        let mut evicted = Vec::new();
+        loop {
+            let n = &self.nodes[idx];
+            if n.used.fits_in(&n.effective()) {
+                break;
+            }
+            // Newest assignment first: the eviction mirrors how a shrinking
+            // node OOM-kills its most recent arrivals, and popping the pod
+            // list tail keeps `remove`'s recomputed `used` bit-identical to
+            // the running sum the surviving prefix built.
+            let Some(&victim) = n.pods.last() else { break };
+            let (_, demand) = self.remove(victim).expect("pod on node is assigned");
+            evicted.push((victim, demand));
+        }
+        evicted
     }
 
     /// Pods currently running on `node`.
@@ -199,7 +276,7 @@ impl ClusterState {
         if self.assignments.contains_key(&pod) {
             return Err(ClusterError::AlreadyAssigned(pod));
         }
-        let remaining = ns.capacity.saturating_sub(&ns.used);
+        let remaining = ns.effective().saturating_sub(&ns.used);
         if !demand.fits_in(&remaining) {
             return Err(ClusterError::InsufficientCapacity {
                 node,
@@ -309,12 +386,13 @@ impl ClusterState {
             .collect()
     }
 
-    /// Total capacity across healthy nodes.
+    /// Total *effective* capacity across healthy nodes (partially degraded
+    /// nodes contribute only what they can deliver).
     pub fn healthy_capacity(&self) -> Resources {
         self.nodes
             .iter()
             .filter(|n| n.healthy)
-            .map(|n| n.capacity)
+            .map(NodeState::effective)
             .sum()
     }
 
@@ -358,10 +436,11 @@ impl ClusterState {
                     n.used
                 ));
             }
-            if !n.used.fits_in(&n.capacity) {
+            if !n.used.fits_in(&n.effective()) {
                 return Err(format!(
-                    "node {i}: overcommitted {} > {}",
-                    n.used, n.capacity
+                    "node {i}: overcommitted {} > effective {}",
+                    n.used,
+                    n.effective()
                 ));
             }
             for p in &n.pods {
@@ -469,6 +548,69 @@ mod tests {
         c.restore_node(n0);
         assert!(c.is_healthy(n0));
         c.assign(pod(0, 0), Resources::cpu(1.0), n0).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degrade_shrinks_effective_capacity_and_evicts_lifo() {
+        let mut c = ClusterState::homogeneous(1, Resources::cpu(10.0));
+        let n0 = NodeId::new(0);
+        c.assign(pod(0, 0), Resources::cpu(4.0), n0).unwrap();
+        c.assign(pod(0, 1), Resources::cpu(3.0), n0).unwrap();
+        c.assign(pod(0, 2), Resources::cpu(2.0), n0).unwrap();
+        // 60 % capacity: 9 CPUs used vs 6 effective — evict newest first
+        // until the survivors fit (pod2, then pod1; pod0 alone fits).
+        let evicted = c.set_degrade(n0, 0.6);
+        assert_eq!(
+            evicted.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            vec![pod(0, 2), pod(0, 1)]
+        );
+        assert_eq!(c.effective_capacity(n0).cpu, 6.0);
+        assert_eq!(c.remaining(n0).cpu, 2.0);
+        assert_eq!(c.degrade_factor(n0), 0.6);
+        c.check_invariants().unwrap();
+        // A demand over the effective (but under the nominal) capacity is
+        // rejected.
+        let err = c.assign(pod(0, 3), Resources::cpu(5.0), n0).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        // Restoring the factor reopens the nominal capacity bit-for-bit.
+        assert!(c.set_degrade(n0, 1.0).is_empty());
+        assert_eq!(c.remaining(n0).cpu.to_bits(), 6.0f64.to_bits());
+        c.assign(pod(0, 3), Resources::cpu(5.0), n0).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degrade_is_orthogonal_to_health() {
+        let mut c = ClusterState::homogeneous(2, Resources::cpu(8.0));
+        let n0 = NodeId::new(0);
+        c.assign(pod(0, 0), Resources::cpu(6.0), n0).unwrap();
+        c.fail_node(n0);
+        // Degrading a failed node evicts nothing (it is already empty)…
+        assert!(c.set_degrade(n0, 0.5).is_empty());
+        assert_eq!(c.remaining(n0), Resources::ZERO);
+        // …and the factor survives restore: the node rejoins at half size.
+        c.restore_node(n0);
+        assert_eq!(c.effective_capacity(n0).cpu, 4.0);
+        assert_eq!(c.healthy_capacity().cpu, 12.0);
+        let err = c.assign(pod(0, 0), Resources::cpu(6.0), n0).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        c.assign(pod(0, 0), Resources::cpu(4.0), n0).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degrade_factor_clamped_and_exact_fit_allowed() {
+        let mut c = ClusterState::homogeneous(1, Resources::cpu(8.0));
+        let n0 = NodeId::new(0);
+        c.set_degrade(n0, 7.0);
+        assert_eq!(c.degrade_factor(n0), 1.0);
+        c.set_degrade(n0, -3.0);
+        assert_eq!(c.degrade_factor(n0), 0.0);
+        assert_eq!(c.remaining(n0), Resources::ZERO);
+        c.set_degrade(n0, 0.25);
+        c.assign(pod(0, 0), Resources::cpu(2.0), n0).unwrap();
+        assert_eq!(c.remaining(n0).cpu, 0.0);
         c.check_invariants().unwrap();
     }
 

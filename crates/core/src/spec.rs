@@ -249,6 +249,29 @@ impl AppSpec {
         h.finish()
     }
 
+    /// A copy of the spec with every service's per-replica demand scaled
+    /// by `demand_factor` and its replica count scaled by `replica_factor`
+    /// (rounded to the nearest count, clamped to at least one replica).
+    ///
+    /// This is the mid-run demand-surge primitive: a load spike multiplies
+    /// resource needs and/or horizontal width without touching names,
+    /// tags, dependencies, pricing, or subscription. A factor of exactly
+    /// `1.0` leaves its axis **bit-identical** (the field is not
+    /// re-multiplied), so a no-op surge cannot perturb a plan.
+    pub fn scaled(&self, demand_factor: f64, replica_factor: f64) -> AppSpec {
+        let mut app = self.clone();
+        for s in &mut app.services {
+            if demand_factor != 1.0 {
+                s.demand = s.demand * demand_factor.max(0.0);
+            }
+            if replica_factor != 1.0 {
+                let scaled = (f64::from(s.replicas) * replica_factor.max(0.0)).round();
+                s.replicas = scaled.clamp(1.0, f64::from(u16::MAX)) as u16;
+            }
+        }
+        app
+    }
+
     /// Demand of the subset of services at criticality `c` or more critical.
     pub fn demand_at_criticality(&self, c: Criticality) -> Resources {
         self.service_ids()
@@ -495,6 +518,16 @@ impl Workload {
     pub fn total_demand(&self) -> Resources {
         self.apps.iter().map(AppSpec::total_demand).sum()
     }
+
+    /// Replaces `app` with a scaled copy (see [`AppSpec::scaled`]) — the
+    /// in-place form the simulator's demand-surge events use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn scale_app(&mut self, app: AppId, demand_factor: f64, replica_factor: f64) {
+        self.apps[app.index()] = self.apps[app.index()].scaled(demand_factor, replica_factor);
+    }
 }
 
 impl FromIterator<AppSpec> for Workload {
@@ -572,6 +605,34 @@ mod tests {
         let s = b.add_service("s", Resources::cpu(1.0), None, 1);
         b.add_dependency(s, s);
         assert!(matches!(b.build(), Err(SpecError::SelfDependency { .. })));
+    }
+
+    #[test]
+    fn scaled_app_multiplies_demand_and_replicas() {
+        let app = two_service_app();
+        let surged = app.scaled(1.5, 2.0);
+        assert_eq!(surged.services()[0].demand, Resources::cpu(3.0));
+        assert_eq!(surged.services()[0].replicas, 2);
+        assert_eq!(surged.services()[1].replicas, 4);
+        // Tags, edges, and pricing survive untouched.
+        assert_eq!(surged.criticality_of(ServiceId(1)), Criticality::C5);
+        assert_eq!(surged.dependency().unwrap().edge_count(), 1);
+        assert_eq!(surged.price_per_unit(), app.price_per_unit());
+        // Identity factors are bit-exact no-ops; the fingerprint agrees.
+        let same = app.scaled(1.0, 1.0);
+        assert_eq!(same, app);
+        assert_eq!(same.fingerprint(), app.fingerprint());
+        // Replica scaling never drops below one.
+        let shrunk = app.scaled(1.0, 0.01);
+        assert!(shrunk.services().iter().all(|s| s.replicas == 1));
+    }
+
+    #[test]
+    fn workload_scale_app_targets_one_app() {
+        let mut w = Workload::new(vec![two_service_app(), two_service_app()]);
+        w.scale_app(AppId(1), 2.0, 1.0);
+        assert_eq!(w.app(AppId(0)).total_demand(), Resources::cpu(4.0));
+        assert_eq!(w.app(AppId(1)).total_demand(), Resources::cpu(8.0));
     }
 
     #[test]

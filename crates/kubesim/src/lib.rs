@@ -19,6 +19,12 @@
 //! [`run::SimTrace`]: per-second serving status of every pod plus the
 //! `t1…t5` milestone markers that Fig. 6 annotates.
 //!
+//! Beyond the paper's stop/start script, scenarios can degrade node
+//! capacity gracefully ([`scenario::ScenarioKind::CapacityDegrade`]),
+//! flap node groups with seeded jitter, surge application demand
+//! mid-run, and take out whole zones or racks — the vocabulary the
+//! `phoenix-scenarios` crate generates entire campaign suites from.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,7 +52,7 @@
 //!     &SimConfig::default(),
 //!     SimTime::from_secs(1200),
 //! );
-//! assert!(trace.milestones.iter().any(|m| m.label == "recovered"));
+//! assert!(trace.milestones.iter().any(|m| m.label() == "recovered"));
 //! # Ok::<(), phoenix_core::spec::SpecError>(())
 //! ```
 

@@ -8,13 +8,13 @@ use std::time::Duration;
 use phoenix_cluster::{ClusterState, NodeId, PodKey};
 use phoenix_core::actions::{diff_states, Action};
 use phoenix_core::policies::ResiliencePolicy;
-use phoenix_core::spec::Workload;
+use phoenix_core::spec::{AppId, Workload};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::events::EventQueue;
 use crate::latency::LatencyModel;
-use crate::scenario::{Scenario, ScenarioKind};
+use crate::scenario::{rack_members, zone_members, Scenario, ScenarioKind};
 use crate::time::SimTime;
 
 /// Simulator configuration.
@@ -45,14 +45,65 @@ impl Default for SimConfig {
     }
 }
 
+/// What a [`Milestone`] marks.
+///
+/// This used to be a bare `&'static str` label, which blocked new event
+/// kinds from emitting milestones without stringly-typed drift; the enum
+/// keeps the old labels available through [`MilestoneKind::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilestoneKind {
+    /// Kubelets stopped (the ground truth, before detection).
+    Failure,
+    /// The node monitor declared dead kubelets failed.
+    Detected,
+    /// The agent produced a plan.
+    Plan,
+    /// The agent issued at least one action.
+    ActionsIssued,
+    /// All in-flight actions of a recovery completed.
+    Recovered,
+    /// Stopped kubelets came back.
+    NodesRestored,
+    /// Nodes lost part of their capacity (gray failure).
+    Degraded,
+    /// Degraded nodes returned to nominal capacity.
+    CapacityRestored,
+    /// An application's demand surged mid-run.
+    Surge,
+}
+
+impl MilestoneKind {
+    /// The legacy string label (`"failure"`, `"detected"`, …) used by
+    /// reports and [`SimTrace::first`].
+    pub fn label(self) -> &'static str {
+        match self {
+            MilestoneKind::Failure => "failure",
+            MilestoneKind::Detected => "detected",
+            MilestoneKind::Plan => "plan",
+            MilestoneKind::ActionsIssued => "actions-issued",
+            MilestoneKind::Recovered => "recovered",
+            MilestoneKind::NodesRestored => "nodes-restored",
+            MilestoneKind::Degraded => "degraded",
+            MilestoneKind::CapacityRestored => "capacity-restored",
+            MilestoneKind::Surge => "surge",
+        }
+    }
+}
+
 /// A labelled moment in the run (the `t1…t5` markers of Fig. 6).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Milestone {
     /// When it happened.
     pub at: SimTime,
-    /// One of: `failure`, `detected`, `plan`, `actions-issued`,
-    /// `recovered`, `nodes-restored`.
-    pub label: &'static str,
+    /// What it marks.
+    pub kind: MilestoneKind,
+}
+
+impl Milestone {
+    /// The milestone's string label (see [`MilestoneKind::label`]).
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
 }
 
 /// Pods serving user traffic at one sample instant.
@@ -98,7 +149,15 @@ impl SimTrace {
     pub fn first(&self, label: &str) -> Option<SimTime> {
         self.milestones
             .iter()
-            .find(|m| m.label == label)
+            .find(|m| m.kind.label() == label)
+            .map(|m| m.at)
+    }
+
+    /// First milestone of `kind`, if any.
+    pub fn first_kind(&self, kind: MilestoneKind) -> Option<SimTime> {
+        self.milestones
+            .iter()
+            .find(|m| m.kind == kind)
             .map(|m| m.at)
     }
 }
@@ -132,10 +191,51 @@ enum Event {
     StartDone(PodKey),
 }
 
+/// Marks dead kubelets; returns `true` when any state actually changed.
+fn stop_kubelets(
+    nodes: &[NodeId],
+    alive: &mut [bool],
+    stopped_at: &mut [SimTime],
+    now: SimTime,
+) -> bool {
+    let mut any = false;
+    for node in nodes {
+        let Some(a) = alive.get_mut(node.index()) else {
+            continue; // out-of-shape scenario id: ignore defensively
+        };
+        if *a {
+            *a = false;
+            stopped_at[node.index()] = now;
+            any = true;
+        }
+    }
+    any
+}
+
+/// Marks kubelets back up; returns `true` when any state actually changed.
+fn start_kubelets(nodes: &[NodeId], alive: &mut [bool]) -> bool {
+    let mut any = false;
+    for node in nodes {
+        let Some(a) = alive.get_mut(node.index()) else {
+            continue;
+        };
+        if !*a {
+            *a = true;
+            any = true;
+        }
+    }
+    any
+}
+
 /// Runs `scenario` under `policy` until `horizon`.
 ///
 /// The initial state is the policy's own plan over the full cluster,
 /// applied instantaneously at `t = 0` (steady state before the disaster).
+///
+/// Scenarios restricted to the legacy stop/start vocabulary behave
+/// **bit-for-bit** as before the richer event kinds existed: the flap
+/// jitter stream is a dedicated RNG (never advanced unless a flap fires)
+/// and the workload is only copied when a surge rewrites it.
 pub fn simulate(
     workload: &Workload,
     policy: &dyn ResiliencePolicy,
@@ -144,20 +244,27 @@ pub fn simulate(
     horizon: SimTime,
 ) -> SimTrace {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Flap jitter comes out of its own stream so flapping scenarios do
+    // not perturb the pod-latency samples of co-scheduled events (and
+    // legacy scenarios never touch it at all).
+    let mut flap_rng = StdRng::seed_from_u64(config.seed ^ 0xF1A9_0000_F1A9_0000);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut trace = SimTrace::default();
 
     // Control-plane view of the cluster.
     let mut state = ClusterState::new(scenario.node_capacities.iter().copied());
-    // Ground truth about kubelets.
+    // Ground truth about kubelets and gray capacity.
     let n = scenario.node_count();
     let mut kubelet_alive = vec![true; n];
     let mut kubelet_stopped_at = vec![SimTime::ZERO; n];
+    let mut degrade_truth = vec![1.0f64; n];
 
     let mut phase: HashMap<PodKey, Phase> = HashMap::new();
     let mut actions_in_flight: usize = 0;
     let mut dirty = false;
     let mut failure_pending_recovery = false;
+    // Copy-on-surge workload: `None` means the original is still current.
+    let mut surged: Option<Workload> = None;
 
     // Steady state at t = 0.
     let initial = policy.plan(workload, &state);
@@ -178,34 +285,166 @@ pub fn simulate(
         }
         match event {
             Event::Scenario(ScenarioKind::KubeletStop(nodes)) => {
-                let mut any = false;
-                for node in nodes {
-                    if kubelet_alive[node.index()] {
-                        kubelet_alive[node.index()] = false;
-                        kubelet_stopped_at[node.index()] = now;
-                        any = true;
-                    }
-                }
-                if any {
+                if stop_kubelets(&nodes, &mut kubelet_alive, &mut kubelet_stopped_at, now) {
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "failure",
+                        kind: MilestoneKind::Failure,
                     });
                 }
             }
             Event::Scenario(ScenarioKind::KubeletStart(nodes)) => {
+                if start_kubelets(&nodes, &mut kubelet_alive) {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::NodesRestored,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::ZoneOutage { zones, zone }) => {
+                let members: Vec<NodeId> = zone_members(n, zones, zone)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect();
+                if stop_kubelets(&members, &mut kubelet_alive, &mut kubelet_stopped_at, now) {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::Failure,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::ZoneRestore { zones, zone }) => {
+                let members: Vec<NodeId> = zone_members(n, zones, zone)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect();
+                if start_kubelets(&members, &mut kubelet_alive) {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::NodesRestored,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::RackOutage { racks, rack }) => {
+                let members: Vec<NodeId> = rack_members(n, racks, rack)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect();
+                if stop_kubelets(&members, &mut kubelet_alive, &mut kubelet_stopped_at, now) {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::Failure,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::RackRestore { racks, rack }) => {
+                let members: Vec<NodeId> = rack_members(n, racks, rack)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect();
+                if start_kubelets(&members, &mut kubelet_alive) {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::NodesRestored,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::Flap {
+                nodes,
+                down,
+                up,
+                cycles,
+                jitter_ms,
+            }) => {
+                if cycles > 0 {
+                    if stop_kubelets(&nodes, &mut kubelet_alive, &mut kubelet_stopped_at, now) {
+                        trace.milestones.push(Milestone {
+                            at: now,
+                            kind: MilestoneKind::Failure,
+                        });
+                    }
+                    let jitter = |rng: &mut StdRng, cap: u64| {
+                        SimTime::from_millis(if cap > 0 { rng.gen_range(0..=cap) } else { 0 })
+                    };
+                    // The restart's jitter is capped below the serving
+                    // dwell when another cycle follows: an unbounded draw
+                    // could push this cycle's KubeletStart past the next
+                    // cycle's stop, silently erasing a down phase.
+                    let up_cap = if cycles > 1 {
+                        jitter_ms.min(up.as_millis().saturating_sub(1))
+                    } else {
+                        jitter_ms
+                    };
+                    let back_up = now + down + jitter(&mut flap_rng, up_cap);
+                    queue.schedule(
+                        back_up,
+                        Event::Scenario(ScenarioKind::KubeletStart(nodes.clone())),
+                    );
+                    if cycles > 1 {
+                        let next_drop = now + down + up + jitter(&mut flap_rng, jitter_ms);
+                        queue.schedule(
+                            next_drop,
+                            Event::Scenario(ScenarioKind::Flap {
+                                nodes,
+                                down,
+                                up,
+                                cycles: cycles - 1,
+                                jitter_ms,
+                            }),
+                        );
+                    }
+                }
+            }
+            Event::Scenario(ScenarioKind::CapacityDegrade { nodes, factor }) => {
+                let factor = factor.clamp(0.0, 1.0);
                 let mut any = false;
                 for node in nodes {
-                    if !kubelet_alive[node.index()] {
-                        kubelet_alive[node.index()] = true;
-                        any = true;
+                    if let Some(t) = degrade_truth.get_mut(node.index()) {
+                        if t.to_bits() != factor.to_bits() {
+                            *t = factor;
+                            any = true;
+                        }
                     }
                 }
                 if any {
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "nodes-restored",
+                        kind: MilestoneKind::Degraded,
                     });
+                }
+            }
+            Event::Scenario(ScenarioKind::CapacityRestore { nodes }) => {
+                let mut any = false;
+                for node in nodes {
+                    if let Some(t) = degrade_truth.get_mut(node.index()) {
+                        if t.to_bits() != 1.0f64.to_bits() {
+                            *t = 1.0;
+                            any = true;
+                        }
+                    }
+                }
+                if any {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::CapacityRestored,
+                    });
+                }
+            }
+            Event::Scenario(ScenarioKind::DemandSurge {
+                app,
+                demand_factor,
+                replica_factor,
+            }) => {
+                if (app as usize) < workload.app_count() {
+                    surged.get_or_insert_with(|| workload.clone()).scale_app(
+                        AppId::new(app),
+                        demand_factor,
+                        replica_factor,
+                    );
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::Surge,
+                    });
+                    dirty = true;
                 }
             }
             Event::MonitorTick => {
@@ -228,31 +467,53 @@ pub fn simulate(
                         detected_recovery = true;
                     }
                 }
+                // Gray capacity changes are visible at the very next tick:
+                // a degraded kubelet still heartbeats, it just reports a
+                // smaller allocatable. Converge the control-plane view to
+                // the ground truth, evicting overflowing pods.
+                let mut degrade_changed = false;
+                let mut degrade_evicted = false;
+                for i in 0..n {
+                    let node = NodeId::new(i as u32);
+                    if state.degrade_factor(node).to_bits() != degrade_truth[i].to_bits() {
+                        degrade_changed = true;
+                        for (pod, _) in state.set_degrade(node, degrade_truth[i]) {
+                            phase.remove(&pod);
+                            degrade_evicted = true;
+                        }
+                    }
+                }
                 if detected_failure {
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "detected",
+                        kind: MilestoneKind::Detected,
                     });
                     failure_pending_recovery = true;
                     dirty = true;
                 }
-                if detected_recovery {
+                if detected_recovery || degrade_changed {
                     dirty = true;
+                }
+                if degrade_evicted {
+                    // Evictions took services down; track the replan that
+                    // restores them like any other recovery.
+                    failure_pending_recovery = true;
                 }
 
                 if dirty && actions_in_flight == 0 {
-                    let plan = policy.plan(workload, &state);
+                    let wl = surged.as_ref().unwrap_or(workload);
+                    let plan = policy.plan(wl, &state);
                     trace.plans.push((now, plan.planning_time));
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "plan",
+                        kind: MilestoneKind::Plan,
                     });
                     let actions = diff_states(&state, &plan.target);
                     dirty = false;
                     if !actions.is_empty() {
                         trace.milestones.push(Milestone {
                             at: now,
-                            label: "actions-issued",
+                            kind: MilestoneKind::ActionsIssued,
                         });
                         // Phase A: deletions, issued back-to-back.
                         let mut cursor = now;
@@ -321,7 +582,7 @@ pub fn simulate(
                 if actions_in_flight == 0 && failure_pending_recovery {
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "recovered",
+                        kind: MilestoneKind::Recovered,
                     });
                     failure_pending_recovery = false;
                 }
@@ -331,11 +592,25 @@ pub fn simulate(
                 node,
                 ready_at,
             } => {
-                let demand = workload
+                let looked_up = surged
+                    .as_ref()
+                    .unwrap_or(workload)
                     .service_of_pod(pod)
-                    .expect("planned pod belongs to workload")
-                    .1
-                    .demand;
+                    .map(|(_, s)| s.demand);
+                let Some(demand) = looked_up else {
+                    // A surge shrank the app between plan and issue and the
+                    // pod no longer exists: drop the start and replan.
+                    actions_in_flight = actions_in_flight.saturating_sub(1);
+                    dirty = true;
+                    if actions_in_flight == 0 && failure_pending_recovery {
+                        trace.milestones.push(Milestone {
+                            at: now,
+                            kind: MilestoneKind::Recovered,
+                        });
+                        failure_pending_recovery = false;
+                    }
+                    continue;
+                };
                 match state.assign(pod, demand, node) {
                     Ok(()) => {
                         phase.insert(pod, Phase::Starting);
@@ -349,7 +624,7 @@ pub fn simulate(
                         if actions_in_flight == 0 && failure_pending_recovery {
                             trace.milestones.push(Milestone {
                                 at: now,
-                                label: "recovered",
+                                kind: MilestoneKind::Recovered,
                             });
                             failure_pending_recovery = false;
                         }
@@ -368,7 +643,7 @@ pub fn simulate(
                     if actions_in_flight == 0 && failure_pending_recovery {
                         trace.milestones.push(Milestone {
                             at: now,
-                            label: "recovered",
+                            kind: MilestoneKind::Recovered,
                         });
                         failure_pending_recovery = false;
                     }
@@ -382,7 +657,7 @@ pub fn simulate(
                 if actions_in_flight == 0 && failure_pending_recovery {
                     trace.milestones.push(Milestone {
                         at: now,
-                        label: "recovered",
+                        kind: MilestoneKind::Recovered,
                     });
                     failure_pending_recovery = false;
                 }
@@ -585,6 +860,158 @@ mod tests {
         );
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.milestones, b.milestones);
+    }
+
+    #[test]
+    fn capacity_degrade_evicts_and_phoenix_sheds_optional_tier() {
+        // One 4-CPU node serving fe (2) + chat (2). At 300 s the node gray-
+        // fails to 50 % capacity: 2 effective CPUs. The monitor applies the
+        // shrink at its next tick, evicts the overflow, and Phoenix keeps
+        // the C1 frontend while chat stays shed until capacity returns.
+        let w = workload();
+        let mut s = Scenario::new(1, Resources::cpu(4.0));
+        s.capacity_degrade_at(SimTime::from_secs(300), [0], 0.5);
+        s.capacity_restore_at(SimTime::from_secs(900), [0]);
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(1400),
+        );
+        let degraded = trace.first_kind(MilestoneKind::Degraded).unwrap();
+        assert_eq!(degraded, SimTime::from_secs(300));
+        // Both services serve before the degrade…
+        assert!(trace.service_up(&w, 0, 0, SimTime::from_secs(250)));
+        assert!(trace.service_up(&w, 0, 1, SimTime::from_secs(250)));
+        // …after it settles only the critical frontend fits…
+        assert!(trace.service_up(&w, 0, 0, SimTime::from_secs(800)));
+        assert!(!trace.service_up(&w, 0, 1, SimTime::from_secs(800)));
+        // …and the restore brings chat back.
+        assert!(trace.first_kind(MilestoneKind::CapacityRestored).is_some());
+        assert!(trace.service_up(&w, 0, 1, SimTime::from_secs(1390)));
+    }
+
+    #[test]
+    fn flap_cycles_stop_and_restart_repeatedly() {
+        let w = workload();
+        let mut s = Scenario::new(3, Resources::cpu(2.0));
+        s.flap_at(
+            SimTime::from_secs(300),
+            [2],
+            SimTime::from_secs(120),
+            SimTime::from_secs(240),
+            3,
+            10_000,
+        );
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(2400),
+        );
+        let failures = trace
+            .milestones
+            .iter()
+            .filter(|m| m.kind == MilestoneKind::Failure)
+            .count();
+        let restores = trace
+            .milestones
+            .iter()
+            .filter(|m| m.kind == MilestoneKind::NodesRestored)
+            .count();
+        assert_eq!(failures, 3, "milestones: {:?}", trace.milestones);
+        assert_eq!(restores, 3);
+        // Deterministic under the same seed, jitter included.
+        let again = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(2400),
+        );
+        assert_eq!(trace.milestones, again.milestones);
+        assert_eq!(trace.samples, again.samples);
+    }
+
+    #[test]
+    fn demand_surge_triggers_replan_onto_wider_footprint() {
+        // Plenty of room: the surge doubles the app's replicas, and the
+        // next tick plans + starts the new pods.
+        let w = workload();
+        let mut s = Scenario::new(4, Resources::cpu(4.0));
+        s.demand_surge_at(SimTime::from_secs(300), 0, 1.0, 2.0);
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(900),
+        );
+        assert_eq!(
+            trace.first_kind(MilestoneKind::Surge),
+            Some(SimTime::from_secs(300))
+        );
+        let before = trace.serving_at(SimTime::from_secs(290)).len();
+        let after = trace.serving_at(SimTime::from_secs(890)).len();
+        assert_eq!(before, 2);
+        assert_eq!(after, 4, "surged replicas must be serving");
+    }
+
+    #[test]
+    fn zone_outage_maps_to_striped_members() {
+        let w = workload();
+        // 6 nodes, 3 zones: zone 1 = nodes {1, 4}.
+        let mut s = Scenario::new(6, Resources::cpu(2.0));
+        s.zone_outage_at(SimTime::from_secs(300), 3, 1, Some(SimTime::from_secs(900)));
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(1200),
+        );
+        // Equivalent explicit stop/start scripts the very same trace.
+        let mut explicit = Scenario::new(6, Resources::cpu(2.0));
+        explicit.kubelet_stop_at(SimTime::from_secs(300), [1, 4]);
+        explicit.kubelet_start_at(SimTime::from_secs(900), [1, 4]);
+        let reference = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &explicit,
+            &SimConfig::default(),
+            SimTime::from_secs(1200),
+        );
+        assert_eq!(trace.samples, reference.samples);
+        assert_eq!(trace.milestones, reference.milestones);
+    }
+
+    #[test]
+    fn rack_outage_maps_to_contiguous_members() {
+        let w = workload();
+        // 6 nodes, 2 racks: rack 0 = nodes {0, 1, 2}.
+        let mut s = Scenario::new(6, Resources::cpu(2.0));
+        s.rack_outage_at(SimTime::from_secs(300), 2, 0, Some(SimTime::from_secs(900)));
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &s,
+            &SimConfig::default(),
+            SimTime::from_secs(1200),
+        );
+        let mut explicit = Scenario::new(6, Resources::cpu(2.0));
+        explicit.kubelet_stop_at(SimTime::from_secs(300), [0, 1, 2]);
+        explicit.kubelet_start_at(SimTime::from_secs(900), [0, 1, 2]);
+        let reference = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &explicit,
+            &SimConfig::default(),
+            SimTime::from_secs(1200),
+        );
+        assert_eq!(trace.samples, reference.samples);
+        assert_eq!(trace.milestones, reference.milestones);
     }
 
     #[test]

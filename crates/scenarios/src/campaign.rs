@@ -1,0 +1,437 @@
+//! The campaign runner: fan a suite of scenarios over the deterministic
+//! `phoenix-exec` pool and score every `(scenario, policy)` run with the
+//! tiered-RTO machinery into per-family scorecards.
+//!
+//! Every job — one scenario simulated under one policy — is independent,
+//! so the runner is embarrassingly parallel; results are reduced strictly
+//! in job order (scenario-major, policy-minor), which makes the scorecards
+//! **byte-identical for every `PHOENIX_THREADS`** (the determinism probe
+//! diffs them in CI).
+
+use phoenix_cluster::Resources;
+use phoenix_core::policies::ResiliencePolicy;
+use phoenix_core::spec::{AppSpecBuilder, Workload};
+use phoenix_core::tags::Criticality;
+use phoenix_exec::Pool;
+use phoenix_kubesim::rto::{evaluate_rto, RtoPolicy};
+use phoenix_kubesim::run::{simulate, SimConfig};
+use phoenix_kubesim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ScenarioError, SuiteDoc};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Simulator timing/latency configuration.
+    pub sim: SimConfig,
+    /// Tiered recovery objectives every run is scored against.
+    pub rto: RtoPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            sim: SimConfig::default(),
+            rto: RtoPolicy::paper_example(),
+        }
+    }
+}
+
+fn is_none_u64(v: &Option<u64>) -> bool {
+    v.is_none()
+}
+
+/// Score of one `(scenario, policy)` simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunScore {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario family slug.
+    pub family: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Did every tiered RTO hold?
+    pub rto_satisfied: bool,
+    /// Outage episodes observed after the first disruption.
+    pub outages: u32,
+    /// Episodes that violated their tier's objective.
+    pub violations: u32,
+    /// Worst C1 restoration time, when any C1 service went down and came
+    /// back (milliseconds).
+    #[serde(default, skip_serializing_if = "is_none_u64")]
+    pub worst_c1_recovery_ms: Option<u64>,
+    /// Lowest pod-availability sample at/after the first disruption:
+    /// serving pods of the baseline spec ÷ baseline pod count (replicas
+    /// a surge added on top are not counted, so the ratio stays in
+    /// `[0, 1]`).
+    pub min_availability: f64,
+    /// Pod availability (same definition) at the final sample.
+    pub final_availability: f64,
+    /// Number of plans the agent produced.
+    pub plans: u32,
+}
+
+/// Aggregate of one `(family, policy)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyScorecard {
+    /// Family slug.
+    pub family: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Scenarios in the cell.
+    pub scenarios: u32,
+    /// Scenarios whose every tiered RTO held.
+    pub rto_pass: u32,
+    /// Total objective violations across the cell.
+    pub violations: u32,
+    /// Mean of the per-run minimum availability.
+    pub mean_min_availability: f64,
+    /// Mean of the per-run final availability.
+    pub mean_final_availability: f64,
+    /// Worst C1 restoration across the cell (milliseconds).
+    #[serde(default, skip_serializing_if = "is_none_u64")]
+    pub worst_c1_recovery_ms: Option<u64>,
+}
+
+/// Full campaign output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// One score per `(scenario, policy)`, scenario-major in suite order.
+    pub scores: Vec<RunScore>,
+    /// One card per `(family, policy)`, in first-appearance order.
+    pub scorecards: Vec<FamilyScorecard>,
+}
+
+/// A deterministic multi-app workload for campaigns, benches, and probes:
+/// `apps` tiered applications (critical frontend ×2, important mid tier,
+/// optional cache + batch) with chain dependencies and varied pricing.
+pub fn demo_workload(apps: u32) -> Workload {
+    let mut out = Vec::new();
+    for a in 0..apps.max(1) as u64 {
+        let mut b = AppSpecBuilder::new(format!("app{a}"));
+        let fe = b.add_service("fe", Resources::cpu(1.0), Some(Criticality::C1), 2);
+        let mid = b.add_service(
+            "mid",
+            Resources::cpu(1.0 + (a % 2) as f64 * 0.5),
+            Some(Criticality::C2),
+            1,
+        );
+        let cache = b.add_service("cache", Resources::cpu(1.0), Some(Criticality::C3), 1);
+        let batch = b.add_service("batch", Resources::cpu(2.0), Some(Criticality::C5), 1);
+        b.add_dependency(fe, mid);
+        b.add_dependency(mid, cache);
+        b.add_dependency(mid, batch);
+        b.price_per_unit(1.0 + (a % 3) as f64);
+        out.push(b.build().expect("valid demo spec"));
+    }
+    Workload::new(out)
+}
+
+/// Runs the campaign on the [global pool](phoenix_exec::global)
+/// (`PHOENIX_THREADS`); see [`run_campaign_on`] to pin a pool explicitly.
+///
+/// # Errors
+///
+/// Propagates the first scenario validation error — nothing is simulated
+/// unless the whole suite compiles.
+pub fn run_campaign(
+    workload: &Workload,
+    suite: &SuiteDoc,
+    policies: &[Box<dyn ResiliencePolicy>],
+    cfg: &CampaignConfig,
+) -> Result<CampaignOutcome, ScenarioError> {
+    run_campaign_on(workload, suite, policies, cfg, phoenix_exec::global())
+}
+
+/// [`run_campaign`] on an explicit [`Pool`].
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_on(
+    workload: &Workload,
+    suite: &SuiteDoc,
+    policies: &[Box<dyn ResiliencePolicy>],
+    cfg: &CampaignConfig,
+    pool: &Pool,
+) -> Result<CampaignOutcome, ScenarioError> {
+    if suite.version != SuiteDoc::VERSION {
+        return Err(ScenarioError::Version(suite.version));
+    }
+    suite.check_surge_targets(workload.app_count())?;
+    // `compile` validates each scenario — no separate validation pass.
+    let compiled: Vec<_> = suite
+        .scenarios
+        .iter()
+        .map(|s| s.compile().map(|c| (s, c)))
+        .collect::<Result<_, _>>()?;
+
+    let baseline_pods: usize = workload
+        .apps()
+        .map(|(_, a)| {
+            a.services()
+                .iter()
+                .map(|s| s.replicas as usize)
+                .sum::<usize>()
+        })
+        .sum();
+    let jobs: Vec<(usize, usize)> = (0..compiled.len())
+        .flat_map(|si| (0..policies.len()).map(move |pi| (si, pi)))
+        .collect();
+
+    let scores = pool.par_map(&jobs, |&(si, pi)| {
+        let (doc, scenario) = &compiled[si];
+        let policy = policies[pi].as_ref();
+        let trace = simulate(workload, policy, scenario, &cfg.sim, doc.horizon());
+        let disruption = doc.first_disruption().unwrap_or(SimTime::ZERO);
+        let report = evaluate_rto(&trace, workload, &cfg.rto, disruption);
+
+        // Availability counts only pods of the *baseline* spec (replica
+        // index within the pre-surge count): extra replicas spawned by a
+        // surge neither push the ratio past 1.0 nor mask shed baseline
+        // pods, so surge-family cells stay comparable to the others.
+        let avail = |sample: &phoenix_kubesim::run::TraceSample| {
+            if baseline_pods == 0 {
+                return 0.0;
+            }
+            let in_baseline = sample
+                .serving
+                .iter()
+                .filter(|&&p| workload.service_of_pod(p).is_some())
+                .count();
+            in_baseline as f64 / baseline_pods as f64
+        };
+        let min_availability = trace
+            .samples
+            .iter()
+            .filter(|s| s.at >= disruption)
+            .map(avail)
+            .fold(f64::INFINITY, f64::min);
+        let final_availability = trace.samples.last().map_or(0.0, avail);
+        let worst_c1 = report
+            .outages
+            .iter()
+            .filter(|o| o.criticality == Criticality::C1)
+            .filter_map(|o| o.duration())
+            .max();
+
+        RunScore {
+            scenario: doc.name.clone(),
+            family: doc.family.clone(),
+            policy: policy.name().to_string(),
+            rto_satisfied: report.satisfied(),
+            outages: report.outages.len() as u32,
+            violations: report.violations().len() as u32,
+            worst_c1_recovery_ms: worst_c1.map(SimTime::as_millis),
+            min_availability: if min_availability.is_finite() {
+                min_availability
+            } else {
+                final_availability
+            },
+            final_availability,
+            plans: trace.plans.len() as u32,
+        }
+    });
+
+    Ok(CampaignOutcome {
+        scorecards: aggregate(&scores),
+        scores,
+    })
+}
+
+/// Folds run scores into `(family, policy)` cards, strictly in score
+/// order (which is suite order — the deterministic reduction).
+fn aggregate(scores: &[RunScore]) -> Vec<FamilyScorecard> {
+    let mut cards: Vec<FamilyScorecard> = Vec::new();
+    for s in scores {
+        let card = match cards
+            .iter_mut()
+            .find(|c| c.family == s.family && c.policy == s.policy)
+        {
+            Some(c) => c,
+            None => {
+                cards.push(FamilyScorecard {
+                    family: s.family.clone(),
+                    policy: s.policy.clone(),
+                    scenarios: 0,
+                    rto_pass: 0,
+                    violations: 0,
+                    mean_min_availability: 0.0,
+                    mean_final_availability: 0.0,
+                    worst_c1_recovery_ms: None,
+                });
+                cards.last_mut().expect("just pushed")
+            }
+        };
+        card.scenarios += 1;
+        card.rto_pass += u32::from(s.rto_satisfied);
+        card.violations += s.violations;
+        // Accumulate sums; normalized to means below.
+        card.mean_min_availability += s.min_availability;
+        card.mean_final_availability += s.final_availability;
+        card.worst_c1_recovery_ms = card.worst_c1_recovery_ms.max(s.worst_c1_recovery_ms);
+    }
+    for c in &mut cards {
+        let n = f64::from(c.scenarios.max(1));
+        c.mean_min_availability /= n;
+        c.mean_final_availability /= n;
+    }
+    cards
+}
+
+/// Serializes a campaign outcome to pretty JSON.
+///
+/// # Errors
+///
+/// Propagates the underlying serializer error (cannot happen for valid
+/// outcomes).
+pub fn outcome_to_json(outcome: &CampaignOutcome) -> Result<String, ScenarioError> {
+    Ok(serde_json::to_string_pretty(outcome)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_suite, GeneratorConfig};
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy};
+
+    fn small_cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            nodes: 6,
+            node_cpu: 4.0,
+            scenarios_per_family: 2,
+            apps: 2,
+            seed: 9,
+        }
+    }
+
+    fn roster() -> Vec<Box<dyn ResiliencePolicy>> {
+        vec![Box::new(PhoenixPolicy::fair()), Box::new(DefaultPolicy)]
+    }
+
+    #[test]
+    fn campaign_produces_one_card_per_family_policy_cell() {
+        let suite = generate_suite(&small_cfg());
+        let out = run_campaign(
+            &demo_workload(2),
+            &suite,
+            &roster(),
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.scores.len(), suite.scenarios.len() * 2);
+        assert_eq!(out.scorecards.len(), 6 * 2);
+        for c in &out.scorecards {
+            assert_eq!(c.scenarios, 2, "{}/{}", c.family, c.policy);
+            assert!(c.mean_min_availability >= 0.0 && c.mean_min_availability <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let suite = generate_suite(&small_cfg());
+        let w = demo_workload(2);
+        let cfg = CampaignConfig::default();
+        let seq = run_campaign_on(&w, &suite, &roster(), &cfg, &Pool::sequential()).unwrap();
+        let par = run_campaign_on(&w, &suite, &roster(), &cfg, &Pool::new(4)).unwrap();
+        assert_eq!(seq.scores.len(), par.scores.len());
+        for (a, b) in seq.scores.iter().zip(&par.scores) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(
+                a.min_availability.to_bits(),
+                b.min_availability.to_bits(),
+                "{} under {}",
+                a.scenario,
+                a.policy
+            );
+            assert_eq!(
+                a.final_availability.to_bits(),
+                b.final_availability.to_bits()
+            );
+            assert_eq!(a.worst_c1_recovery_ms, b.worst_c1_recovery_ms);
+        }
+        assert_eq!(seq.scorecards, par.scorecards);
+    }
+
+    #[test]
+    fn phoenix_passes_more_rtos_than_default_overall() {
+        let suite = generate_suite(&GeneratorConfig {
+            scenarios_per_family: 3,
+            ..small_cfg()
+        });
+        let out = run_campaign(
+            &demo_workload(2),
+            &suite,
+            &roster(),
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        let passes = |name: &str| {
+            out.scorecards
+                .iter()
+                .filter(|c| c.policy == name)
+                .map(|c| c.rto_pass)
+                .sum::<u32>()
+        };
+        assert!(
+            passes("PhoenixFair") >= passes("Default"),
+            "PhoenixFair {} < Default {}",
+            passes("PhoenixFair"),
+            passes("Default")
+        );
+    }
+
+    #[test]
+    fn invalid_suite_is_rejected_before_simulation() {
+        let mut suite = generate_suite(&small_cfg());
+        suite.scenarios[0].events[0].kind = "meteor_strike".into();
+        let err = run_campaign(
+            &demo_workload(2),
+            &suite,
+            &roster(),
+            &CampaignConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownKind { .. }));
+    }
+
+    #[test]
+    fn suite_surging_missing_apps_is_rejected() {
+        // A surge aimed past the workload's app count would be silently
+        // swallowed mid-simulation, so the campaign refuses the pair.
+        let mut suite = generate_suite(&small_cfg());
+        suite.scenarios[0].events.push(crate::model::EventDoc {
+            app: 7,
+            demand_factor: 1.5,
+            ..crate::model::EventDoc::new(1_000, "demand_surge")
+        });
+        let err = run_campaign(
+            &demo_workload(2),
+            &suite,
+            &roster(),
+            &CampaignConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadEvent { .. }), "{err}");
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        let suite = generate_suite(&GeneratorConfig {
+            scenarios_per_family: 1,
+            ..small_cfg()
+        });
+        let out = run_campaign(
+            &demo_workload(1),
+            &suite,
+            &roster(),
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        let json = outcome_to_json(&out).unwrap();
+        let back: CampaignOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, out);
+    }
+}

@@ -33,7 +33,7 @@ fn main() {
 
     println!("timeline:");
     for m in &trace.milestones {
-        println!("  {:>8}  {}", m.at.to_string(), m.label);
+        println!("  {:>8}  {}", m.at.to_string(), m.label());
     }
 
     // How did Overleaf0 fare?

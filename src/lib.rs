@@ -65,3 +65,4 @@ pub use phoenix_dgraph as dgraph;
 pub use phoenix_exec as exec;
 pub use phoenix_kubesim as kubesim;
 pub use phoenix_lp as lp;
+pub use phoenix_scenarios as scenarios;
