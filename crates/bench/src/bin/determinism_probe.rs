@@ -2,7 +2,8 @@
 //! plans, warm replans over a churn scenario, sharded-packing churn
 //! rounds, a kubesim node-failure run, a multi-trial AdaptLab sweep,
 //! a fixed-seed scenario campaign (every family × 5 scenarios, plus the
-//! scripted adaptlab sweep), and a chaos audit — with all wall-clock
+//! scripted adaptlab sweep), an adversarial hunt with shrinking and the
+//! persisted-regression replay, and a chaos audit — with all wall-clock
 //! fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
@@ -303,6 +304,85 @@ fn probe_scenarios() {
     }
 }
 
+/// Adversarial hunt + shrink + regression replay: a small fixed-seed
+/// hunt fans `(candidate, policy)` evaluations over the pool, the
+/// champion shrinks through the deterministic lattice, and every
+/// checked-in repro replays — all printed with wall-clock omitted, so
+/// the CI diff proves the whole adversarial pipeline is thread-count
+/// invariant.
+fn probe_hunt() {
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+    use phoenix_scenarios::campaign::{demo_workload, CampaignConfig};
+    use phoenix_scenarios::model::ScenarioDoc;
+    use phoenix_scenarios::regression::{load_all, regressions_dir, replay};
+    use phoenix_scenarios::search::{run_hunt, signature_of, HuntConfig};
+    use phoenix_scenarios::shrink::shrink;
+
+    let hunt = HuntConfig {
+        population: 12,
+        rounds: 2,
+        elites: 4,
+        ..HuntConfig::smoke(42)
+    };
+    let w = demo_workload(3);
+    let cfg = CampaignConfig::default();
+    let policies: Vec<Box<dyn ResiliencePolicy>> =
+        vec![Box::new(PhoenixPolicy::cost()), Box::new(DefaultPolicy)];
+    let outcome = run_hunt(&w, &policies, &hunt, &cfg);
+    println!(
+        "hunt seed={} evals={} champions={}",
+        outcome.seed,
+        outcome.evaluations,
+        outcome.champions.len()
+    );
+    for c in &outcome.champions {
+        println!(
+            "hunt champion {} round={} candidate={} severity={} outages={} viol={} c1={:?}",
+            c.policy,
+            c.round,
+            c.candidate,
+            c.signature.severity_ms,
+            c.signature.outages,
+            c.signature.violations,
+            c.signature.worst_c1_recovery_ms,
+        );
+        let policy = policies
+            .iter()
+            .find(|p| p.name() == c.policy)
+            .expect("champion policy from roster");
+        let mut oracle = |d: &ScenarioDoc| {
+            signature_of(&w, d, policy.as_ref(), &cfg)
+                .map(|s| s.severity_ms > 0)
+                .unwrap_or(false)
+        };
+        let (small, report) = shrink(&c.doc, &mut oracle);
+        let sig = signature_of(&w, &small, policy.as_ref(), &cfg).expect("shrunk doc validates");
+        println!(
+            "hunt shrunk {} events={}->{} horizon={}->{} severity={} evals={} passes={}",
+            c.policy,
+            c.doc.events.len(),
+            small.events.len(),
+            c.doc.horizon_ms,
+            small.horizon_ms,
+            sig.severity_ms,
+            report.evals,
+            report.passes,
+        );
+    }
+    for doc in load_all(&regressions_dir()).expect("regressions dir readable") {
+        let fresh = replay(&doc, &cfg).expect("repro replays");
+        println!(
+            "regression {} pinned={} fresh={} outages={} viol={} c1={:?}",
+            doc.name,
+            doc.signature.severity_ms,
+            fresh.severity_ms,
+            fresh.outages,
+            fresh.violations,
+            fresh.worst_c1_recovery_ms,
+        );
+    }
+}
+
 /// Chaos tag audits for both reference applications.
 fn probe_audit() {
     for model in [
@@ -339,5 +419,6 @@ fn main() {
     probe_kubesim();
     probe_sweep();
     probe_scenarios();
+    probe_hunt();
     probe_audit();
 }

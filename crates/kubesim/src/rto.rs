@@ -89,6 +89,18 @@ impl ServiceOutage {
             (Some(_), None) => true,
         }
     }
+
+    /// How far past its tier's objective the restoration ran, in
+    /// milliseconds. Unrestored outages are censored at `horizon` (the
+    /// outage lasted at least until the trace ended). Zero when the
+    /// objective held or the tier has none.
+    pub fn excess_over_target(&self, horizon: SimTime) -> u64 {
+        let Some(target) = self.target else { return 0 };
+        let duration = self
+            .duration()
+            .unwrap_or_else(|| horizon.saturating_sub(self.down_at));
+        duration.saturating_sub(target).as_millis()
+    }
 }
 
 /// RTO evaluation of one trace.
@@ -107,6 +119,24 @@ impl RtoReport {
     /// `true` when every tiered objective held.
     pub fn satisfied(&self) -> bool {
         self.outages.iter().all(|o| !o.violated())
+    }
+
+    /// Total violation severity of the trace: the sum over violating
+    /// outages of [`ServiceOutage::excess_over_target`] (milliseconds past
+    /// the tier objective, censored at `horizon` when never restored).
+    ///
+    /// Zero when every objective held, and strictly ordered beyond that —
+    /// a scheme that misses a 240 s objective by ten minutes scores worse
+    /// than one that misses it by one — which is exactly the gradient an
+    /// adversarial scenario search climbs. One asymmetry with
+    /// [`satisfied`](RtoReport::satisfied): an unrestored outage whose
+    /// *censored* duration has not yet exceeded its target counts as a
+    /// (pessimistic) violation there but contributes zero severity here.
+    pub fn severity(&self, horizon: SimTime) -> u64 {
+        self.outages
+            .iter()
+            .map(|o| o.excess_over_target(horizon))
+            .sum()
     }
 
     /// Worst restoration time among services at exactly `level`.
@@ -273,6 +303,54 @@ mod tests {
         let tiered = RtoPolicy::new().with_target(Criticality::C1, SimTime::from_secs(240));
         let report = evaluate_rto(&trace, &w, &tiered, SimTime::from_secs(300));
         assert!(report.satisfied(), "violations: {:?}", report.violations());
+    }
+
+    #[test]
+    fn severity_orders_violations_and_censors_at_horizon() {
+        let outage = |down_s: u64, restored_s: Option<u64>, target_s: Option<u64>| ServiceOutage {
+            app: AppId::new(0),
+            service: ServiceId::new(0),
+            criticality: Criticality::C1,
+            down_at: SimTime::from_secs(down_s),
+            restored_at: restored_s.map(SimTime::from_secs),
+            target: target_s.map(SimTime::from_secs),
+        };
+        let horizon = SimTime::from_secs(2000);
+
+        // Met objective and objective-free tiers contribute nothing.
+        assert_eq!(
+            outage(300, Some(500), Some(240)).excess_over_target(horizon),
+            0
+        );
+        assert_eq!(outage(300, None, None).excess_over_target(horizon), 0);
+        // Restored late: the excess is duration - target.
+        assert_eq!(
+            outage(300, Some(900), Some(240)).excess_over_target(horizon),
+            (600 - 240) * 1000
+        );
+        // Never restored: censored at the horizon.
+        assert_eq!(
+            outage(300, None, Some(240)).excess_over_target(horizon),
+            (2000 - 300 - 240) * 1000
+        );
+        // Unrestored but censored before the target elapsed: no severity
+        // yet (the `satisfied` asymmetry called out in the docs).
+        assert_eq!(outage(1900, None, Some(240)).excess_over_target(horizon), 0);
+
+        let report = RtoReport {
+            outages: vec![
+                outage(300, Some(900), Some(240)),
+                outage(300, None, Some(240)),
+                outage(300, Some(500), Some(240)),
+            ],
+        };
+        assert_eq!(report.severity(horizon), (360 + 1460) * 1000);
+        // A satisfied report scores zero.
+        let ok = RtoReport {
+            outages: vec![outage(300, Some(500), Some(240))],
+        };
+        assert_eq!(ok.severity(horizon), 0);
+        assert!(ok.satisfied());
     }
 
     #[test]

@@ -23,6 +23,20 @@
 //!    and scoring it against tiered RTOs into per-family scorecards,
 //!    byte-identical at any `PHOENIX_THREADS`.
 //!
+//! On top of those sit the adversarial layers:
+//!
+//! 4. **Search** ([`search`]) — a seeded evolutionary hunt that mutates
+//!    and crosses over scenario docs to *maximize* tiered-RTO violation
+//!    severity per policy, fanned over the same pool with per-candidate
+//!    RNG streams (byte-identical at any thread count).
+//! 5. **Shrink** ([`shrink`]) — greedy, deterministic minimal-repro
+//!    reduction of any violating doc, re-checking the violation after
+//!    every cut.
+//! 6. **Regression** ([`regression`]) — persisted minimal repros under
+//!    `crates/scenarios/regressions/`, replayed with pinned violation
+//!    signatures by `tests/regression_suite.rs` so every hunt
+//!    permanently grows tier-1 coverage.
+//!
 //! [`CapacityDegrade`]: phoenix_kubesim::scenario::ScenarioKind::CapacityDegrade
 //! [`Flap`]: phoenix_kubesim::scenario::ScenarioKind::Flap
 //! [`DemandSurge`]: phoenix_kubesim::scenario::ScenarioKind::DemandSurge
@@ -64,3 +78,6 @@
 pub mod campaign;
 pub mod generate;
 pub mod model;
+pub mod regression;
+pub mod search;
+pub mod shrink;

@@ -212,11 +212,25 @@ impl ScenarioDoc {
     /// Checks the document's internal consistency: known kinds, in-range
     /// node/zone indices, sane factors.
     ///
+    /// Hardened against the degenerate shapes a shrinker (or a hand edit)
+    /// can produce: empty names, zero or non-finite capacities, a zero
+    /// horizon, events scheduled at/past the horizon, duplicate node ids,
+    /// and non-finite or zero-duration event parameters are all rejected
+    /// rather than silently compiled.
+    ///
     /// # Errors
     ///
     /// Returns the first [`ScenarioError`] found.
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        if self.nodes == 0 || !(self.node_cpu > 0.0) || self.node_mem < 0.0 {
+        if self.name.is_empty() {
+            return Err(ScenarioError::BadCluster("empty scenario name".into()));
+        }
+        if self.nodes == 0
+            || !self.node_cpu.is_finite()
+            || !(self.node_cpu > 0.0)
+            || !self.node_mem.is_finite()
+            || self.node_mem < 0.0
+        {
             return Err(ScenarioError::BadCluster(format!(
                 "{}: nodes {} cpu {} mem {}",
                 self.name, self.nodes, self.node_cpu, self.node_mem
@@ -226,6 +240,9 @@ impl ScenarioDoc {
             scenario: self.name.clone(),
             detail,
         };
+        if self.horizon_ms == 0 {
+            return Err(bad("zero simulation horizon".into()));
+        }
         for ev in &self.events {
             if !EVENT_KINDS.contains(&ev.kind.as_str()) {
                 return Err(ScenarioError::UnknownKind {
@@ -233,8 +250,17 @@ impl ScenarioDoc {
                     kind: ev.kind.clone(),
                 });
             }
+            if ev.at_ms >= self.horizon_ms {
+                return Err(bad(format!(
+                    "{}: fires at {} ms, at/past the {} ms horizon",
+                    ev.kind, ev.at_ms, self.horizon_ms
+                )));
+            }
             if let Some(&n) = ev.nodes.iter().find(|&&n| n >= self.nodes) {
                 return Err(bad(format!("{}: node {n} out of range", ev.kind)));
+            }
+            if (1..ev.nodes.len()).any(|i| ev.nodes[i..].contains(&ev.nodes[i - 1])) {
+                return Err(bad(format!("{}: duplicate node id", ev.kind)));
             }
             match ev.kind.as_str() {
                 "kubelet_stop" | "kubelet_start" | "capacity_restore" => {
@@ -259,7 +285,11 @@ impl ScenarioDoc {
                     }
                 }
                 "demand_surge" => {
-                    if !(ev.demand_factor > 0.0) || !(ev.replica_factor > 0.0) {
+                    if !ev.demand_factor.is_finite()
+                        || !ev.replica_factor.is_finite()
+                        || !(ev.demand_factor > 0.0)
+                        || !(ev.replica_factor > 0.0)
+                    {
                         return Err(bad(format!(
                             "demand_surge: factors {} / {}",
                             ev.demand_factor, ev.replica_factor
@@ -540,6 +570,101 @@ mod tests {
             scenarios: vec![],
         };
         assert!(matches!(suite.validate(), Err(ScenarioError::Version(99))));
+    }
+
+    /// The degenerate shapes a shrinker can emit: every one either
+    /// round-trips exactly (when legal) or is rejected by `validate`
+    /// (when a hostile hand edit could otherwise sneak it through).
+    #[test]
+    fn adversarial_shrinker_shapes_round_trip_or_are_rejected() {
+        // Empty event list: legal (a scenario that never disrupts),
+        // serializes without an `events` key, and restores exactly.
+        let mut d = sample();
+        d.events.clear();
+        d.validate().unwrap();
+        assert_eq!(d.first_disruption(), None);
+        let suite = SuiteDoc {
+            version: SuiteDoc::VERSION,
+            seed: 0,
+            scenarios: vec![d],
+        };
+        let json = to_json(&suite).unwrap();
+        assert!(!json.contains("\"events\""));
+        assert_eq!(from_json(&json).unwrap(), suite);
+
+        // Degenerate single-node topology: legal and exact.
+        let d = ScenarioDoc {
+            name: "one-node".into(),
+            family: "custom".into(),
+            nodes: 1,
+            node_cpu: 1.0,
+            node_mem: 0.0,
+            horizon_ms: 60_000,
+            events: vec![EventDoc {
+                nodes: vec![0],
+                ..EventDoc::new(1_000, "kubelet_stop")
+            }],
+        };
+        d.validate().unwrap();
+        let suite = SuiteDoc {
+            version: SuiteDoc::VERSION,
+            seed: 0,
+            scenarios: vec![d],
+        };
+        let json = to_json(&suite).unwrap();
+        assert_eq!(from_json(&json).unwrap(), suite);
+        assert_eq!(to_json(&from_json(&json).unwrap()).unwrap(), json);
+
+        // Zero-duration flap: rejected, never silently compiled.
+        let mut d = sample();
+        d.events[2].down_ms = 0;
+        assert!(matches!(d.validate(), Err(ScenarioError::BadEvent { .. })));
+        let mut d = sample();
+        d.events[2].up_ms = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_documents() {
+        // Empty scenario name.
+        let mut d = sample();
+        d.name.clear();
+        assert!(matches!(d.validate(), Err(ScenarioError::BadCluster(_))));
+
+        // Zero horizon.
+        let mut d = sample();
+        d.horizon_ms = 0;
+        assert!(matches!(d.validate(), Err(ScenarioError::BadEvent { .. })));
+
+        // An event scheduled at (or past) the horizon.
+        let mut d = sample();
+        d.horizon_ms = d.events[0].at_ms;
+        assert!(d.validate().is_err());
+
+        // Duplicate node ids in one event.
+        let mut d = sample();
+        d.events[0].nodes = vec![4, 4];
+        assert!(d.validate().is_err());
+
+        // Non-finite cluster capacities and surge factors.
+        let mut d = sample();
+        d.node_cpu = f64::NAN;
+        assert!(d.validate().is_err());
+        let mut d = sample();
+        d.node_cpu = f64::INFINITY;
+        assert!(d.validate().is_err());
+        let mut d = sample();
+        d.node_mem = f64::NAN;
+        assert!(d.validate().is_err());
+        let mut d = sample();
+        d.events[3].demand_factor = f64::INFINITY;
+        assert!(d.validate().is_err());
+        let mut d = sample();
+        d.events[3].replica_factor = f64::NAN;
+        assert!(d.validate().is_err());
+        let mut d = sample();
+        d.events[1].factor = f64::NAN;
+        assert!(d.validate().is_err());
     }
 
     #[test]
