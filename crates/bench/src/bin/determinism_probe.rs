@@ -2,9 +2,10 @@
 //! plans, warm replans over a churn scenario, sharded-packing churn
 //! rounds, a kubesim node-failure run, a multi-trial AdaptLab sweep,
 //! a fixed-seed scenario campaign (every family × 5 scenarios, plus the
-//! scripted adaptlab sweep), an adversarial hunt with shrinking and the
-//! persisted-regression replay, and a chaos audit — with all wall-clock
-//! fields stripped.
+//! scripted adaptlab sweep), serving-mode planning over the modal demo
+//! workload with its utility-under-crunch campaign metrics, an
+//! adversarial hunt with shrinking and the persisted-regression replay,
+//! and a chaos audit — with all wall-clock fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
 //! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
@@ -304,6 +305,97 @@ fn probe_scenarios() {
     }
 }
 
+/// Serving-mode planning: churn rounds over the modal demo workload
+/// (degraded-serving ladders on cache/batch) under a crunch, printing
+/// every chosen mode, the ModeShift action counts, and the modal
+/// campaign's utility metrics as bits. The CI diff extends the
+/// thread-count-invariance guarantee to mode selection and
+/// utility-under-crunch scoring.
+fn probe_modes() {
+    use phoenix_core::policies::{PhoenixPolicy, ResiliencePolicy};
+    use phoenix_scenarios::campaign::{demo_workload_modal, run_campaign, CampaignConfig};
+    use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
+
+    let workload = demo_workload_modal(3);
+    let mut controller = PhoenixController::new(
+        workload.clone(),
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+    );
+    let mut live = ClusterState::homogeneous(6, Resources::cpu(4.0));
+    for round in 0..5 {
+        let result = controller.replan(&live, ReplanDelta::Full);
+        let (d, m, s) = result.actions.counts();
+        println!(
+            "modes round {round}: actions d={d} m={m} s={s} shifts={} all_full={}",
+            result.actions.mode_shifts(),
+            result.modes.is_all_full(),
+        );
+        for (app, spec) in workload.apps() {
+            for svc in 0..spec.service_count() {
+                let svc = phoenix_core::spec::ServiceId::new(svc as u32);
+                let mode = result.modes.get(app, svc);
+                if mode != phoenix_core::spec::ServingMode::Full {
+                    println!("  mode app={} svc={} {mode:?}", app.index(), svc.index());
+                }
+            }
+        }
+        let mut placed: Vec<_> = result
+            .target
+            .assignments()
+            .map(|(p, n, r)| (p, n.index(), r.scalar().to_bits()))
+            .collect();
+        placed.sort_unstable();
+        for (pod, node, demand) in placed {
+            println!("  pod {pod} -> node {node} demand={demand}");
+        }
+        live = result.target.clone();
+        match round {
+            0 => {
+                live.fail_node(NodeId::new(0));
+            }
+            1 => {
+                live.fail_node(NodeId::new(1));
+            }
+            2 => {
+                live.restore_node(NodeId::new(0));
+            }
+            _ => {
+                live.restore_node(NodeId::new(1));
+            }
+        }
+    }
+
+    // The modal campaign: utility-under-crunch metrics, as bits.
+    let suite = generate_suite(&GeneratorConfig {
+        nodes: 8,
+        node_cpu: 4.0,
+        scenarios_per_family: 2,
+        apps: 3,
+        seed: 42,
+    });
+    let policies: Vec<Box<dyn ResiliencePolicy>> = vec![Box::new(PhoenixPolicy::fair())];
+    let outcome = run_campaign(&workload, &suite, &policies, &CampaignConfig::default())
+        .expect("generated suite is valid");
+    for s in &outcome.scores {
+        println!(
+            "modal scenario {} {} min_u={} final_u={}",
+            s.scenario,
+            s.policy,
+            s.min_utility.to_bits(),
+            s.final_utility.to_bits(),
+        );
+    }
+    for c in &outcome.scorecards {
+        println!(
+            "modal scorecard {} {} mean_min_u={} mean_final_u={}",
+            c.family,
+            c.policy,
+            c.mean_min_utility.to_bits(),
+            c.mean_final_utility.to_bits(),
+        );
+    }
+}
+
 /// Adversarial hunt + shrink + regression replay: a small fixed-seed
 /// hunt fans `(candidate, policy)` evaluations over the pool, the
 /// champion shrinks through the deterministic lattice, and every
@@ -419,6 +511,7 @@ fn main() {
     probe_kubesim();
     probe_sweep();
     probe_scenarios();
+    probe_modes();
     probe_hunt();
     probe_audit();
 }

@@ -171,7 +171,7 @@ fn measure_sweep(nodes: usize, trials: u32, seed: u64) -> SweepRow {
 fn write_json(path: &str, scale: &str, threads: usize, rows: &[ReplanRow], sweeps: &[SweepRow]) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"planner_replan\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!(

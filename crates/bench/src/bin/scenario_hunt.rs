@@ -26,6 +26,9 @@
 //! * `--json FILE`    also write the hunt outcome + repro set as JSON;
 //! * `--no-persist`   report only, leave `regressions/` untouched;
 //! * `--out DIR`      persist somewhere other than the checked-in dir;
+//! * `--utility-tiebreak`  break severity ties by the served-utility
+//!   deficit on the modal demo workload instead of the chaos audit
+//!   (default off, so seed-pinned regressions are unaffected);
 //! * `--threads N`    pool workers (byte-identical output for any value).
 
 use std::collections::BTreeMap;
@@ -36,11 +39,13 @@ use phoenix_bench::{arg, flag, init_threads, Table};
 use phoenix_chaos::scenario_chaos::scenario_audit;
 use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
 use phoenix_kubesim::run::SimConfig;
-use phoenix_scenarios::campaign::{demo_workload, CampaignConfig};
+use phoenix_scenarios::campaign::{demo_workload, demo_workload_modal, CampaignConfig};
 use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
 use phoenix_scenarios::model::{ScenarioDoc, SuiteDoc};
 use phoenix_scenarios::regression::{encode, regressions_dir, RegressionDoc};
-use phoenix_scenarios::search::{run_hunt_with, signature_of, HuntConfig};
+use phoenix_scenarios::search::{
+    run_hunt_with, signature_of, utility_deficit_objective, HuntConfig,
+};
 use phoenix_scenarios::shrink::shrink;
 
 fn main() {
@@ -88,9 +93,15 @@ fn main() {
         policies.len(),
     );
 
-    // Secondary objective on severity ties: how badly the scenario also
-    // hurts a *real* app graph under the chaos crate's settle-for-good
-    // audit (unrecovered criticals dominate, then the worst restore time).
+    // Secondary objective on severity ties. Default: how badly the
+    // scenario also hurts a *real* app graph under the chaos crate's
+    // settle-for-good audit (unrecovered criticals dominate, then the
+    // worst restore time). With --utility-tiebreak: the served-utility
+    // deficit on the modal demo workload — scenarios that defeat
+    // degraded serving, not just whole-pod availability.
+    let utility_tiebreak = flag("utility-tiebreak");
+    let modal_workload = demo_workload_modal(hunt.apps);
+    let modal_policy = PhoenixPolicy::fair();
     let audit_model = overleaf("overleaf", OverleafVariant::Edits, 1.0);
     let audit_policy = PhoenixPolicy::fair();
     let audit_sim = SimConfig::default();
@@ -117,6 +128,12 @@ fn main() {
                 .sum(),
             Err(_) => 0,
         }
+    };
+    let utility_secondary = utility_deficit_objective(&modal_workload, &modal_policy, &cfg);
+    let secondary_ref: &(dyn Fn(&ScenarioDoc) -> u64 + Sync) = if utility_tiebreak {
+        &utility_secondary
+    } else {
+        &secondary
     };
 
     let mut repros: Vec<RegressionDoc> = Vec::new();
@@ -203,7 +220,7 @@ fn main() {
         &hunt,
         &cfg,
         phoenix_exec::global(),
-        Some(&secondary),
+        Some(secondary_ref),
     );
     let mut hunt_table = Table::new([
         "policy",

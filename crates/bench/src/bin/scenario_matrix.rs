@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use phoenix_bench::{arg, f3, flag, init_threads, Table};
 use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
-use phoenix_scenarios::campaign::{demo_workload, run_campaign, CampaignConfig};
+use phoenix_scenarios::campaign::{
+    demo_workload, demo_workload_modal, run_campaign, CampaignConfig,
+};
 use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
 use phoenix_scenarios::model;
 
@@ -64,6 +66,8 @@ fn main() {
         "violations",
         "min_avail",
         "final_avail",
+        "min_util",
+        "final_util",
         "worst_c1_recovery",
     ]);
     for c in &outcome.scorecards {
@@ -75,6 +79,8 @@ fn main() {
             c.violations.to_string(),
             f3(c.mean_min_availability),
             f3(c.mean_final_availability),
+            f3(c.mean_min_utility),
+            f3(c.mean_final_utility),
             c.worst_c1_recovery_ms
                 .map_or("-".to_string(), |ms| format!("{:.1}s", ms as f64 / 1000.0)),
         ]);
@@ -85,6 +91,35 @@ fn main() {
         wall.as_secs_f64(),
         outcome.scores.len()
     );
+
+    // Utility-under-crunch: the same suite against the *modal* demo
+    // workload (degraded-serving ladders on cache/batch, identical Full
+    // demands), PhoenixFair only — the per-family gain over binary
+    // place/evict is the paper's cooperative-degradation claim in one
+    // table, and BENCH_planner.json records it.
+    let modal_policies: Vec<Box<dyn ResiliencePolicy>> = vec![Box::new(PhoenixPolicy::fair())];
+    let modal_outcome = run_campaign(
+        &demo_workload_modal(gen_cfg.apps),
+        &suite,
+        &modal_policies,
+        &CampaignConfig::default(),
+    )
+    .expect("generated suite is valid");
+    let mut modal_table = Table::new(["family", "binary_min_util", "modal_min_util", "gain"]);
+    for m in &modal_outcome.scorecards {
+        let b = outcome
+            .scorecards
+            .iter()
+            .find(|c| c.family == m.family && c.policy == m.policy)
+            .expect("same suite, same policy");
+        modal_table.row([
+            m.family.clone(),
+            f3(b.mean_min_utility),
+            f3(m.mean_min_utility),
+            format!("{:+.3}", m.mean_min_utility - b.mean_min_utility),
+        ]);
+    }
+    modal_table.print("Serving modes vs binary place/evict (PhoenixFair, mean min utility)");
 
     if let Some(path) = std::env::args()
         .collect::<Vec<_>>()

@@ -97,6 +97,13 @@ pub struct PackingConfig {
     /// a chunk from plan length and shard count). Any value produces
     /// identical output; it only tunes the freeze/merge cadence.
     pub shard_chunk: usize,
+    /// Re-book running pods whose planned demand differs from their live
+    /// booking (serving-mode shifts). Off, a running pod keeps its old
+    /// booking untouched — the historical contract mode-less plans are
+    /// pinned to. On, such a pod is re-booked in place when it still
+    /// fits, and otherwise re-enters the fit/repack/victim flow like a
+    /// self-victimized pod (same node ⇒ keep, elsewhere ⇒ migration).
+    pub rebook_in_place: bool,
 }
 
 impl Default for PackingConfig {
@@ -110,6 +117,7 @@ impl Default for PackingConfig {
             max_pods_per_node: None,
             shards: 0,
             shard_chunk: 0,
+            rebook_in_place: false,
         }
     }
 }
@@ -253,13 +261,20 @@ pub fn pack_prepared_sharded(
         let pending: Vec<usize> = (start..end)
             .filter(|&i| state.node_of(plan[i].key).is_none())
             .collect();
-        if pending.is_empty() {
-            // Every pod in the chunk is running at the freeze, so the
-            // merge could only skip them: nothing is placed, nothing is
-            // victimized (victims come from placements), and the shard
-            // fan-out would produce empty proposal vectors. This is the
-            // common warm-replan case — whole chunks of the plan already
-            // converged — so skip the dispatch entirely.
+        // A chunk is *convergent* when the merge could only skip every
+        // pod in it: each is running, and — under `rebook_in_place` —
+        // already booked at its planned demand. (A running pod whose
+        // demand changed carries no frozen proposal; the merge replays
+        // it against live shard state, exactly like a mid-chunk victim.)
+        let convergent = pending.is_empty()
+            && (!cfg.rebook_in_place
+                || (start..end).all(|i| state.demand_of(plan[i].key) == Some(plan[i].demand)));
+        if convergent {
+            // Nothing is placed, nothing is victimized (victims come
+            // from placements), and the shard fan-out would produce
+            // empty proposal vectors. This is the common warm-replan
+            // case — whole chunks of the plan already converged — so
+            // skip the dispatch entirely.
             start = end;
             continue;
         }
@@ -422,10 +437,32 @@ fn place_range(
 ) -> bool {
     for rank in range {
         let planned = &plan[rank];
+        let mut in_place = None;
         if state.node_of(planned.key).is_some() {
-            continue; // already running; keep in place
+            let booked = state
+                .demand_of(planned.key)
+                .expect("assigned pod has demand");
+            if !cfg.rebook_in_place || booked == planned.demand {
+                continue; // already running; keep in place
+            }
+            // Serving-mode rebook: free the old booking and re-place at
+            // the planned demand, preferring the pod's own node so a
+            // shrink (or a grow that still fits) never moves it. A grow
+            // that no longer fits re-enters the regular flow as a
+            // self-victimization: same node ⇒ keep, elsewhere ⇒
+            // migration, nowhere ⇒ the delete stands.
+            let (from, _) = state.remove(planned.key).expect("pod is assigned");
+            book.update(from, state.remaining(from).scalar());
+            if let Some(active) = ctx.active.as_mut() {
+                active.remove(&(rank, planned.key));
+            }
+            ctx.victim_origin.insert(planned.key, from);
+            out.deletions.push(planned.key);
+            if fits_node(state, cfg, from, planned.demand) {
+                in_place = Some(from);
+            }
         }
-        let mut target = fit(state, book, rank, planned.demand);
+        let mut target = in_place.or_else(|| fit(state, book, rank, planned.demand));
         if target.is_none() && cfg.enable_migration {
             target = repack_to_fit(state, book, planned.demand, cfg, out);
         }

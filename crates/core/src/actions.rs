@@ -10,6 +10,8 @@
 use phoenix_cluster::packing::PackOutcome;
 use phoenix_cluster::{ClusterState, NodeId, PodKey};
 
+use crate::spec::{ModeAssignment, ServingMode};
+
 /// One task for the cluster scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
@@ -36,6 +38,20 @@ pub enum Action {
         /// Target node.
         node: NodeId,
     },
+    /// Switch a *running* pod's serving mode in place (reconfigure traffic
+    /// handling — no restart, no relocation). Only ever emitted for
+    /// placement-stable pods: a pod that also starts, stops, or moves
+    /// carries its new mode implicitly in that action instead.
+    ModeShift {
+        /// Pod to reconfigure.
+        pod: PodKey,
+        /// Node it runs on (unchanged).
+        node: NodeId,
+        /// Mode it currently serves in.
+        from: ServingMode,
+        /// Mode it should serve in.
+        to: ServingMode,
+    },
 }
 
 impl Action {
@@ -44,7 +60,8 @@ impl Action {
         match *self {
             Action::Delete { pod, .. }
             | Action::Migrate { pod, .. }
-            | Action::Start { pod, .. } => pod,
+            | Action::Start { pod, .. }
+            | Action::ModeShift { pod, .. } => pod,
         }
     }
 }
@@ -67,7 +84,9 @@ impl ActionPlan {
         self.actions.is_empty()
     }
 
-    /// Counts `(deletes, migrations, starts)`.
+    /// Counts `(deletes, migrations, starts)`. Mode shifts are counted
+    /// separately by [`mode_shifts`](ActionPlan::mode_shifts) — they touch
+    /// no placement, so the historical triple stays meaningful.
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);
         for a in &self.actions {
@@ -75,9 +94,85 @@ impl ActionPlan {
                 Action::Delete { .. } => c.0 += 1,
                 Action::Migrate { .. } => c.1 += 1,
                 Action::Start { .. } => c.2 += 1,
+                Action::ModeShift { .. } => {}
             }
         }
         c
+    }
+
+    /// Number of in-place serving-mode shifts in the plan.
+    pub fn mode_shifts(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, Action::ModeShift { .. }))
+            .count()
+    }
+
+    /// Splices `shifts` into the plan between the migrations and the
+    /// starts, preserving the safe execution order: frees (deletes) and
+    /// relocations land first, in-place reconfigurations next, and only
+    /// then do new pods come up. `shifts` must already be sorted by pod
+    /// key (as [`mode_shift_actions`] returns them).
+    pub fn insert_mode_shifts(&mut self, shifts: Vec<Action>) {
+        if shifts.is_empty() {
+            return;
+        }
+        let at = self
+            .actions
+            .iter()
+            .position(|a| matches!(a, Action::Start { .. }))
+            .unwrap_or(self.actions.len());
+        self.actions.splice(at..at, shifts);
+    }
+
+    /// Renders the plan as one line of canonical JSON.
+    ///
+    /// The encoding is stable by construction (field order fixed, pods via
+    /// their `Display` form, nodes as indices) — the backward-compat
+    /// fixtures pin these exact bytes across planner refactors.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match *a {
+                Action::Delete { pod, node } => {
+                    out.push_str(&format!(
+                        "{{\"delete\":{{\"pod\":\"{pod}\",\"node\":{}}}}}",
+                        node.index()
+                    ));
+                }
+                Action::Migrate { pod, from, to } => {
+                    out.push_str(&format!(
+                        "{{\"migrate\":{{\"pod\":\"{pod}\",\"from\":{},\"to\":{}}}}}",
+                        from.index(),
+                        to.index()
+                    ));
+                }
+                Action::Start { pod, node } => {
+                    out.push_str(&format!(
+                        "{{\"start\":{{\"pod\":\"{pod}\",\"node\":{}}}}}",
+                        node.index()
+                    ));
+                }
+                Action::ModeShift {
+                    pod,
+                    node,
+                    from,
+                    to,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"mode_shift\":{{\"pod\":\"{pod}\",\"node\":{},\"from\":\"{}\",\"to\":\"{}\"}}}}",
+                        node.index(),
+                        from.label(),
+                        to.label()
+                    ));
+                }
+            }
+        }
+        out.push(']');
+        out
     }
 }
 
@@ -161,6 +256,42 @@ pub fn diff_from_outcome(
     actions.extend(migrations);
     actions.extend(starts);
     ActionPlan { actions }
+}
+
+/// Serving-mode reconfigurations for **placement-stable** pods: every pod
+/// that is running in `live`, stays on the same node in `target`, and whose
+/// live mode (per `live_mode_of` — the executor's per-pod ledger) differs
+/// from the plan's chosen mode, gets one [`Action::ModeShift`].
+///
+/// Pods that start, stop, or migrate are skipped on purpose — their new
+/// mode travels with that action (the executor books new pods at
+/// `target_modes` directly), so no pod ever receives two actions. Output
+/// is sorted by pod key, ready for
+/// [`ActionPlan::insert_mode_shifts`].
+pub fn mode_shift_actions(
+    live: &ClusterState,
+    target: &ClusterState,
+    live_mode_of: impl Fn(PodKey) -> ServingMode,
+    target_modes: &ModeAssignment,
+) -> Vec<Action> {
+    let mut shifts = Vec::new();
+    for (pod, node, _) in live.assignments() {
+        if target.node_of(pod) != Some(node) {
+            continue; // deleted or migrated: mode travels with that action
+        }
+        let from = live_mode_of(pod);
+        let to = target_modes.mode_of_pod(pod);
+        if from != to {
+            shifts.push(Action::ModeShift {
+                pod,
+                node,
+                from,
+                to,
+            });
+        }
+    }
+    shifts.sort_by_key(Action::pod);
+    shifts
 }
 
 #[cfg(test)]
@@ -287,6 +418,82 @@ mod tests {
     }
 
     #[test]
+    fn mode_shifts_only_for_placement_stable_pods() {
+        use crate::spec::{AppSpecBuilder, Workload};
+        use crate::tags::Criticality;
+
+        let mut b = AppSpecBuilder::new("a");
+        for s in 0..4 {
+            b.add_service(
+                format!("s{s}"),
+                Resources::cpu(1.0),
+                Some(Criticality::C1),
+                1,
+            );
+        }
+        let w = Workload::new(vec![b.build().unwrap()]);
+
+        let mut live = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap(); // kept → eligible
+        live.assign(pod(1), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap(); // migrates
+        live.assign(pod(2), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap(); // deleted
+        let mut target = ClusterState::homogeneous(2, Resources::cpu(10.0));
+        target
+            .assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap();
+        target
+            .assign(pod(1), Resources::cpu(1.0), NodeId::new(1))
+            .unwrap();
+        target
+            .assign(pod(3), Resources::cpu(1.0), NodeId::new(0))
+            .unwrap(); // starts
+
+        let mut modes = ModeAssignment::for_workload(&w);
+        for s in 0..4 {
+            modes.set(
+                crate::spec::AppId::new(0),
+                crate::spec::ServiceId::new(s),
+                ServingMode::ReadOnly,
+            );
+        }
+        let shifts = mode_shift_actions(&live, &target, |_| ServingMode::Full, &modes);
+        assert_eq!(
+            shifts,
+            vec![Action::ModeShift {
+                pod: pod(0),
+                node: NodeId::new(0),
+                from: ServingMode::Full,
+                to: ServingMode::ReadOnly,
+            }]
+        );
+
+        // Splices between migrations and starts, and renders to JSON.
+        let mut plan = diff_states(&live, &target);
+        plan.insert_mode_shifts(shifts);
+        assert_eq!(plan.counts(), (1, 1, 1));
+        assert_eq!(plan.mode_shifts(), 1);
+        let kinds: Vec<u8> = plan
+            .actions
+            .iter()
+            .map(|a| match a {
+                Action::Delete { .. } => 0,
+                Action::Migrate { .. } => 1,
+                Action::ModeShift { .. } => 2,
+                Action::Start { .. } => 3,
+            })
+            .collect();
+        let mut sorted = kinds.clone();
+        sorted.sort_unstable();
+        assert_eq!(kinds, sorted);
+        assert!(plan
+            .to_json()
+            .contains("{\"mode_shift\":{\"pod\":\"app0/ms0/r0\",\"node\":0,\"from\":\"full\",\"to\":\"read-only\"}}"));
+    }
+
+    #[test]
     fn identical_states_need_no_actions() {
         let mut live = ClusterState::homogeneous(1, Resources::cpu(10.0));
         live.assign(pod(0), Resources::cpu(1.0), NodeId::new(0))
@@ -317,7 +524,8 @@ mod tests {
             .map(|a| match a {
                 Action::Delete { .. } => 0,
                 Action::Migrate { .. } => 1,
-                Action::Start { .. } => 2,
+                Action::ModeShift { .. } => 2,
+                Action::Start { .. } => 3,
             })
             .collect();
         let mut sorted = kinds.clone();

@@ -11,9 +11,9 @@ use phoenix_exec::Pool;
 use crate::actions::{diff_states, ActionPlan};
 use crate::objectives::{ObjectiveKind, OperatorObjective};
 use crate::planner::{app_rank, PlannerConfig};
-use crate::ranking::{global_rank, GlobalRank};
+use crate::ranking::{global_rank, GlobalRank, GlobalRankItem};
 use crate::replan::{replan_with, ReplanCache, ReplanDelta};
-use crate::spec::{AppSpec, ServiceId, Workload};
+use crate::spec::{AppSpec, ModeAssignment, ServiceId, Workload};
 
 /// Controller configuration: objective + planner + packing knobs.
 #[derive(Debug)]
@@ -60,6 +60,10 @@ pub struct PlanResult {
     pub packing: PackOutcome,
     /// Agent task list: live → target.
     pub actions: ActionPlan,
+    /// Chosen serving mode per service. Empty — which reads as all
+    /// [`Full`](crate::spec::ServingMode::Full) — for mode-less
+    /// workloads; only meaningful for services the plan actually places.
+    pub modes: ModeAssignment,
     /// Time spent in the planner (priority estimation + global ranking).
     pub planner_time: Duration,
     /// Time spent in the scheduler (bin packing).
@@ -162,6 +166,71 @@ impl ShardRunner for PoolShardRunner<'_> {
     }
 }
 
+/// Flattens the global activation list into per-replica [`PlannedPod`]s,
+/// resolving each service's chosen serving mode.
+///
+/// A mode-less service contributes exactly one rank item; a modal service
+/// contributes one item per admitted ladder rung, most degraded first, and
+/// its rungs are admitted in ladder order — so the *last* occurrence of a
+/// service in `items` carries its best admitted mode. Each service's
+/// replica block is emitted at the position of its **first** rung (pack
+/// order therefore matches the mode-less planner exactly on mode-less
+/// workloads) at the chosen mode's per-replica demand.
+pub(crate) fn flatten_plan(
+    workload: &Workload,
+    items: &[GlobalRankItem],
+) -> (Vec<PlannedPod>, ModeAssignment) {
+    if !workload.has_modes() {
+        let plan = items
+            .iter()
+            .flat_map(|item| {
+                let svc = workload.app(item.app).service(item.service);
+                workload
+                    .pod_keys(item.app, item.service)
+                    .into_iter()
+                    .map(move |key| PlannedPod::new(key, svc.demand))
+            })
+            .collect();
+        return (plan, ModeAssignment::empty());
+    }
+    // Pass 1: last rung admitted per service wins.
+    let mut modes = ModeAssignment::for_workload(workload);
+    for item in items {
+        modes.set(item.app, item.service, item.mode);
+    }
+    // Pass 2: emit each service's replicas once, at its first rung.
+    let mut emitted: Vec<Vec<bool>> = workload
+        .apps()
+        .map(|(_, a)| vec![false; a.services().len()])
+        .collect();
+    let mut plan = Vec::new();
+    for item in items {
+        let seen = &mut emitted[item.app.index()][item.service.index()];
+        if *seen {
+            continue;
+        }
+        *seen = true;
+        let svc = workload.app(item.app).service(item.service);
+        let demand = svc.mode_demand(modes.get(item.app, item.service));
+        plan.extend(
+            workload
+                .pod_keys(item.app, item.service)
+                .into_iter()
+                .map(|key| PlannedPod::new(key, demand)),
+        );
+    }
+    (plan, modes)
+}
+
+/// Packing config actually used for `workload`: modal workloads force
+/// [`PackingConfig::rebook_in_place`] on so running replicas are re-booked
+/// at their newly chosen mode's demand instead of keeping a stale booking.
+pub(crate) fn effective_packing(workload: &Workload, packing: &PackingConfig) -> PackingConfig {
+    let mut cfg = packing.clone();
+    cfg.rebook_in_place = cfg.rebook_in_place || workload.has_modes();
+    cfg
+}
+
 /// [`plan_with`] on an explicit [`Pool`].
 ///
 /// The per-app priority-estimation walks ([`app_rank`]) fan out across
@@ -196,22 +265,13 @@ pub fn plan_with_pool(
 
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
-    let plan: Vec<PlannedPod> = rank
-        .items
-        .iter()
-        .flat_map(|item| {
-            let svc = workload.app(item.app).service(item.service);
-            workload
-                .pod_keys(item.app, item.service)
-                .into_iter()
-                .map(move |key| PlannedPod::new(key, svc.demand))
-        })
-        .collect();
+    let (plan, modes) = flatten_plan(workload, &rank.items);
+    let pack_cfg = effective_packing(workload, &config.packing);
     let mut target = state.clone();
-    let packing = if config.packing.shards > 1 {
-        pack_sharded(&mut target, &plan, &config.packing, &PoolShardRunner(pool))
+    let packing = if pack_cfg.shards > 1 {
+        pack_sharded(&mut target, &plan, &pack_cfg, &PoolShardRunner(pool))
     } else {
-        pack(&mut target, &plan, &config.packing)
+        pack(&mut target, &plan, &pack_cfg)
     };
     let scheduler_time = t1.elapsed();
 
@@ -221,6 +281,7 @@ pub fn plan_with_pool(
         rank,
         packing,
         actions,
+        modes,
         planner_time,
         scheduler_time,
     }
@@ -365,6 +426,104 @@ mod tests {
                 assert_eq!(seq.packing.migrations, par.packing.migrations, "{tag}");
                 assert_eq!(seq.packing.starts, par.packing.starts, "{tag}");
                 assert_eq!(seq.packing.unplaced, par.packing.unplaced, "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn crunch_steps_modes_down_instead_of_evicting() {
+        use crate::spec::{ModeSpec, ServingMode};
+
+        // One app, two 4-CPU services, each able to fall back to a 2-CPU
+        // read-only mode. On 6 CPUs the binary planner fits only one
+        // service; the ladder keeps both serving — fe at Full, mid at
+        // ReadOnly — instead of evicting mid.
+        let mut b = AppSpecBuilder::new("shop");
+        let ladder = |full: f64| {
+            vec![
+                ModeSpec::new(ServingMode::Full, Resources::cpu(full), 1.0),
+                ModeSpec::new(ServingMode::ReadOnly, Resources::cpu(full / 2.0), 0.6),
+            ]
+        };
+        let fe = b.add_service("fe", Resources::cpu(4.0), Some(Criticality::C1), 1);
+        let mid = b.add_service("mid", Resources::cpu(4.0), Some(Criticality::C2), 1);
+        b.service_modes(fe, ladder(4.0));
+        b.service_modes(mid, ladder(4.0));
+        let modal = Workload::new(vec![b.build().unwrap()]);
+
+        let mut stripped = AppSpecBuilder::new("shop");
+        stripped.add_service("fe", Resources::cpu(4.0), Some(Criticality::C1), 1);
+        stripped.add_service("mid", Resources::cpu(4.0), Some(Criticality::C2), 1);
+        let binary = Workload::new(vec![stripped.build().unwrap()]);
+
+        let state = ClusterState::homogeneous(1, Resources::cpu(6.0));
+        let config = PhoenixConfig::default();
+
+        let without = plan_with(&binary, &state, &config);
+        assert_eq!(without.target.pod_count(), 1, "binary planner evicts mid");
+
+        let with = plan_with(&modal, &state, &config);
+        assert_eq!(with.target.pod_count(), 2, "ladder keeps both serving");
+        let app = crate::spec::AppId::new(0);
+        assert_eq!(with.modes.get(app, fe), ServingMode::Full);
+        assert_eq!(with.modes.get(app, mid), ServingMode::ReadOnly);
+        // The pack booked mid at its read-only demand.
+        let mid_pod = PodKey::new(0, 1, 0);
+        assert_eq!(
+            with.target.demand_of(mid_pod),
+            Some(Resources::cpu(2.0)),
+            "mid must be booked at the chosen mode's demand"
+        );
+        // Served utility strictly improves: 1.0 + 0.6 > 1.0.
+        assert!(with.modes.get(app, mid).depth() > 0);
+    }
+
+    #[test]
+    fn modal_plan_is_thread_and_shard_invariant() {
+        use crate::spec::{ModeSpec, ServingMode};
+
+        let mut apps = Vec::new();
+        for a in 0..3 {
+            let mut b = AppSpecBuilder::new(format!("m{a}"));
+            for s in 0..3 {
+                let full = 2.0 + s as f64;
+                let id = b.add_service(
+                    format!("s{s}"),
+                    Resources::cpu(full),
+                    Some(Criticality::new(1 + (s + a) as u8 % 5)),
+                    1,
+                );
+                if (s + a) % 2 == 0 {
+                    b.service_modes(
+                        id,
+                        vec![
+                            ModeSpec::new(ServingMode::Full, Resources::cpu(full), 1.0),
+                            ModeSpec::new(ServingMode::StaleCache, Resources::cpu(full * 0.5), 0.7),
+                            ModeSpec::new(ServingMode::Shed, Resources::cpu(full * 0.1), 0.05),
+                        ],
+                    );
+                }
+            }
+            apps.push(b.build().unwrap());
+        }
+        let w = Workload::new(apps);
+        let mut state = ClusterState::homogeneous(4, Resources::cpu(4.0));
+        state.fail_node(NodeId::new(3));
+        let seq = plan_with_pool(&w, &state, &PhoenixConfig::default(), &Pool::sequential());
+        assert!(
+            seq.rank.items.iter().any(|i| i.mode != ServingMode::Full),
+            "crunch must engage the ladders"
+        );
+        for shards in [0usize, 2, 3] {
+            for threads in [1usize, 4] {
+                let mut cfg = PhoenixConfig::default();
+                cfg.packing.shards = shards;
+                let par = plan_with_pool(&w, &state, &cfg, &Pool::new(threads));
+                let tag = format!("shards {shards} threads {threads}");
+                assert_eq!(seq.actions, par.actions, "{tag}");
+                assert_eq!(seq.modes, par.modes, "{tag}");
+                assert_eq!(seq.rank.items, par.rank.items, "{tag}");
+                assert_eq!(seq.packing.starts, par.packing.starts, "{tag}");
             }
         }
     }

@@ -27,6 +27,12 @@ pub struct RankContext {
     pub price: f64,
     /// Effective criticality of the candidate container.
     pub criticality: Criticality,
+    /// Marginal utility weight this candidate adds across its replicas:
+    /// `replicas × 1.0` for services without a mode table, the rung's
+    /// marginal utility for a mode-ladder step. Built-in objectives
+    /// ignore it; custom objectives can rank by marginal utility per
+    /// resource (`mode_utility / next_demand`).
+    pub mode_utility: f64,
 }
 
 /// An operator scoring function: **higher scores are activated sooner**.
@@ -178,6 +184,7 @@ mod tests {
             fair_share: fair,
             price,
             criticality: Criticality::C1,
+            mode_utility: 1.0,
         }
     }
 

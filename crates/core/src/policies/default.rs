@@ -43,6 +43,7 @@ impl ResiliencePolicy for DefaultPolicy {
         PolicyPlan {
             target,
             planning_time: t0.elapsed(),
+            modes: crate::spec::ModeAssignment::empty(),
             notes: String::new(),
         }
     }
@@ -63,6 +64,7 @@ impl ResiliencePolicy for NoAdaptPolicy {
         PolicyPlan {
             target: state.clone(),
             planning_time: std::time::Duration::ZERO,
+            modes: crate::spec::ModeAssignment::empty(),
             notes: String::new(),
         }
     }

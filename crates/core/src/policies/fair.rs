@@ -94,6 +94,7 @@ impl ResiliencePolicy for FairPolicy {
         PolicyPlan {
             target,
             planning_time: t0.elapsed(),
+            modes: crate::spec::ModeAssignment::empty(),
             notes: String::new(),
         }
     }

@@ -258,6 +258,7 @@ impl ResiliencePolicy for LpPolicy {
             return PolicyPlan {
                 target: state.clone(),
                 planning_time: t0.elapsed(),
+                modes: crate::spec::ModeAssignment::empty(),
                 notes: format!("skipped: ~{var_estimate} variables exceed max_vars"),
             };
         }
@@ -277,6 +278,7 @@ impl ResiliencePolicy for LpPolicy {
             return PolicyPlan {
                 target: state.clone(),
                 planning_time: t0.elapsed(),
+                modes: crate::spec::ModeAssignment::empty(),
                 notes: format!(
                     "skipped: dense tableau would need ~{:.1} GiB (limit {:.1} GiB)",
                     bytes as f64 / (1u64 << 30) as f64,
@@ -288,6 +290,7 @@ impl ResiliencePolicy for LpPolicy {
             return PolicyPlan {
                 target: state.clone(),
                 planning_time: t0.elapsed(),
+                modes: crate::spec::ModeAssignment::empty(),
                 notes: "model build failed".into(),
             };
         };
@@ -426,6 +429,7 @@ impl ResiliencePolicy for LpPolicy {
         PolicyPlan {
             target,
             planning_time: t0.elapsed(),
+            modes: crate::spec::ModeAssignment::empty(),
             notes,
         }
     }

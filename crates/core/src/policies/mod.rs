@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use phoenix_cluster::ClusterState;
 
-use crate::spec::Workload;
+use crate::spec::{ModeAssignment, Workload};
 
 pub use default::{DefaultPolicy, NoAdaptPolicy};
 pub use fair::FairPolicy;
@@ -36,6 +36,11 @@ pub struct PolicyPlan {
     pub target: ClusterState,
     /// Wall-clock time spent planning (the Fig. 8b metric).
     pub planning_time: Duration,
+    /// Chosen serving mode per service. Mode-aware policies (Phoenix)
+    /// fill this from the planner; baselines leave it
+    /// [`empty`](ModeAssignment::empty) — everything they place serves
+    /// at `Full`, the pre-modes behavior.
+    pub modes: ModeAssignment,
     /// Free-form diagnostics (e.g. the LP solver status).
     pub notes: String,
 }

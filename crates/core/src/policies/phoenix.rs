@@ -71,6 +71,7 @@ impl ResiliencePolicy for PhoenixPolicy {
         PolicyPlan {
             target: result.target,
             planning_time,
+            modes: result.modes,
             notes: format!(
                 "planner={:?} scheduler={:?} unplaced={}",
                 result.planner_time,

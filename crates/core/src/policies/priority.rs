@@ -60,6 +60,7 @@ impl ResiliencePolicy for PriorityPolicy {
         PolicyPlan {
             target,
             planning_time: t0.elapsed(),
+            modes: crate::spec::ModeAssignment::empty(),
             notes: String::new(),
         }
     }

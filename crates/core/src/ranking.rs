@@ -13,18 +13,32 @@ use phoenix_cluster::Resources;
 
 use crate::objectives::{OperatorObjective, RankContext};
 use crate::planner::PlannerConfig;
-use crate::spec::{AppId, ServiceId, Workload};
+use crate::spec::{AppId, ServiceId, ServingMode, Workload};
 use crate::waterfill::{demand_order, waterfill_with_order};
 
-/// One entry of the global activation list.
+/// One entry of the global activation list: a `(service, mode)` candidate.
+///
+/// A service without a mode table contributes exactly one `Full` item
+/// carrying its whole demand — the pre-modes representation. A service
+/// *with* a table contributes a ladder of items, most-degraded rung
+/// first: the base item activates the service at its cheapest mode and
+/// each later item upgrades it one mode, carrying only the **marginal**
+/// demand of that step. Under capacity crunch the merge cuts the ladder
+/// mid-way, so the planner steps a replica down a mode instead of
+/// evicting it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalRankItem {
     /// Application.
     pub app: AppId,
     /// Microservice within the application.
     pub service: ServiceId,
-    /// Total demand of the microservice (all replicas).
+    /// Demand this item adds across all replicas: the full mode-less
+    /// demand for a plain service, the marginal upgrade demand for a
+    /// mode-ladder rung.
     pub demand: Resources,
+    /// The serving mode this item activates (or upgrades) the service to;
+    /// always [`ServingMode::Full`] for mode-less services.
+    pub mode: ServingMode,
 }
 
 /// Output of global ranking, including fair-share bookkeeping that the
@@ -71,9 +85,16 @@ impl PartialOrd for HeapEntry {
 #[derive(Debug, Clone, Copy)]
 struct ChainEntry {
     service: ServiceId,
+    /// Marginal demand of this rung across replicas (the whole service
+    /// demand for mode-less entries).
     demand: Resources,
     scalar: f64,
     criticality: crate::tags::Criticality,
+    /// Mode this rung activates/upgrades the service to.
+    mode: ServingMode,
+    /// Marginal utility weight of this rung across replicas (`replicas ×
+    /// 1.0` for mode-less entries).
+    utility: f64,
 }
 
 /// Precomputed inputs to global ranking: the per-app activation chains from
@@ -109,14 +130,49 @@ impl RankInputs {
             .zip(app_ranks)
             .map(|((_, app), rank)| {
                 rank.iter()
-                    .map(|&service| {
-                        let demand = app.service(service).total_demand();
-                        ChainEntry {
-                            service,
-                            demand,
-                            scalar: demand.scalar(),
-                            criticality: app.criticality_of(service),
+                    .flat_map(|&service| {
+                        let svc = app.service(service);
+                        let criticality = app.criticality_of(service);
+                        if !svc.has_modes() {
+                            // Pre-modes representation, bit-identical: one
+                            // Full entry carrying the whole demand.
+                            let demand = svc.total_demand();
+                            return vec![ChainEntry {
+                                service,
+                                demand,
+                                scalar: demand.scalar(),
+                                criticality,
+                                mode: ServingMode::Full,
+                                utility: f64::from(svc.replicas),
+                            }];
                         }
+                        // Mode ladder, most-degraded rung first: the base
+                        // activates the cheapest mode, each later entry
+                        // upgrades one rung at its marginal demand/utility.
+                        let replicas = f64::from(svc.replicas);
+                        svc.modes
+                            .iter()
+                            .enumerate()
+                            .rev()
+                            .map(|(i, rung)| {
+                                let (d, u) = match svc.modes.get(i + 1) {
+                                    Some(worse) => (
+                                        rung.demand.saturating_sub(&worse.demand),
+                                        rung.utility - worse.utility,
+                                    ),
+                                    None => (rung.demand, rung.utility),
+                                };
+                                let demand = d * replicas;
+                                ChainEntry {
+                                    service,
+                                    demand,
+                                    scalar: demand.scalar(),
+                                    criticality,
+                                    mode: rung.mode,
+                                    utility: u * replicas,
+                                }
+                            })
+                            .collect()
                     })
                     .collect()
             })
@@ -162,6 +218,7 @@ impl RankInputs {
             fair_share: fair_shares[app.index()],
             price: self.prices[app.index()],
             criticality: e.criticality,
+            mode_utility: e.utility,
         });
         Some(HeapEntry { score, app, pos })
     }
@@ -225,6 +282,7 @@ pub fn global_rank_prepared<O: OperatorObjective + ?Sized>(
                 app,
                 service: e.service,
                 demand: e.demand,
+                mode: e.mode,
             });
             if let Some(e) = inputs.entry(objective, &fair_shares, &allocated, app, pos + 1) {
                 heap.push(e);
@@ -334,6 +392,7 @@ pub fn global_rank_replay(
                 app: AppId::new(app),
                 service: e.service,
                 demand: e.demand,
+                mode: e.mode,
             });
         } else if cfg.continue_on_saturation {
             retired[app as usize] = true;

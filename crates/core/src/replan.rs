@@ -40,19 +40,23 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use phoenix_cluster::packing::{pack_prepared, pack_prepared_sharded, PlannedPod};
+use phoenix_cluster::packing::{
+    pack, pack_prepared, pack_prepared_sharded, pack_sharded, PlannedPod,
+};
 use phoenix_cluster::{ClusterState, PodKey};
 use phoenix_exec::Pool;
 
 use crate::actions::diff_from_outcome;
-use crate::controller::{PhoenixConfig, PlanResult, PoolShardRunner};
+use crate::controller::{
+    effective_packing, flatten_plan, PhoenixConfig, PlanResult, PoolShardRunner,
+};
 use crate::objectives::ObjectiveKind;
 use crate::planner::{app_rank, PlannerConfig};
 use crate::ranking::{
     global_rank_prepared, global_rank_replay, merged_order, merged_order_with, GlobalRank,
     RankInputs,
 };
-use crate::spec::{AppSpec, ServiceId, Workload};
+use crate::spec::{AppSpec, ModeAssignment, ServiceId, Workload};
 
 /// What changed since the previous round, as far as the caller knows.
 ///
@@ -365,63 +369,84 @@ pub fn replan_with_pool(
     // consecutive rounds share a (usually near-total) prefix, whose
     // flattened pods and rank-map entries are identical by construction.
     // Only the diverging tail is torn down and rebuilt.
-    let was_valid = cache.plan_valid;
-    if !was_valid {
-        cache.plan.clear();
-    }
-    let old_items: &[crate::ranking::GlobalRankItem] = if was_valid {
-        cache.rank.as_ref().map_or(&[], |r| &r.items)
-    } else {
-        &[]
-    };
-    let prefix = old_items
-        .iter()
-        .zip(&rank.items)
-        .take_while(|(a, b)| a == b)
-        .count();
-    let plan_changed = prefix != old_items.len() || prefix != rank.items.len();
-    if plan_changed {
-        let offset: usize = rank.items[..prefix]
+    //
+    // Mode ladders break that construction — a tail change can upgrade or
+    // downgrade a service whose replica block was emitted in the *prefix*,
+    // changing its demand in place — so modal workloads skip the patch and
+    // rebuild the flattened plan per round (still warm in the ranking
+    // stage, which dominates).
+    let modal = workload.has_modes();
+    if !modal {
+        let was_valid = cache.plan_valid;
+        if !was_valid {
+            cache.plan.clear();
+        }
+        let old_items: &[crate::ranking::GlobalRankItem] = if was_valid {
+            cache.rank.as_ref().map_or(&[], |r| &r.items)
+        } else {
+            &[]
+        };
+        let prefix = old_items
             .iter()
-            .map(|it| usize::from(workload.app(it.app).service(it.service).replicas))
-            .sum();
-        cache.plan.truncate(offset);
-        for item in &rank.items[prefix..] {
-            let svc = workload.app(item.app).service(item.service);
-            for replica in 0..svc.replicas {
-                let key = PodKey::new(
-                    item.app.index() as u32,
-                    item.service.index() as u32,
-                    replica,
-                );
-                cache.plan.push(PlannedPod::new(key, svc.demand));
+            .zip(&rank.items)
+            .take_while(|(a, b)| a == b)
+            .count();
+        let plan_changed = prefix != old_items.len() || prefix != rank.items.len();
+        if plan_changed {
+            let offset: usize = rank.items[..prefix]
+                .iter()
+                .map(|it| usize::from(workload.app(it.app).service(it.service).replicas))
+                .sum();
+            cache.plan.truncate(offset);
+            for item in &rank.items[prefix..] {
+                let svc = workload.app(item.app).service(item.service);
+                for replica in 0..svc.replicas {
+                    let key = PodKey::new(
+                        item.app.index() as u32,
+                        item.service.index() as u32,
+                        replica,
+                    );
+                    cache.plan.push(PlannedPod::new(key, svc.demand));
+                }
             }
         }
+        if plan_changed || !was_valid {
+            // O(services): the dense lookup table re-derives from the items.
+            cache.plan_index.rebuild(workload, &rank.items);
+        }
+        cache.plan_valid = true;
     }
-    if plan_changed || !was_valid {
-        // O(services): the dense lookup table re-derives from the items.
-        cache.plan_index.rebuild(workload, &rank.items);
-    }
-    cache.plan_valid = true;
     cache.capacity_bits = Some(capacity_bits);
     cache.rank = Some(rank.clone());
     let planner_time = t0.elapsed();
 
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
+    let pack_cfg = effective_packing(workload, &config.packing);
     let mut target = state.clone();
-    let packing = if config.packing.shards > 1 {
-        pack_prepared_sharded(
-            &mut target,
-            &cache.plan,
-            &config.packing,
-            |p| cache.plan_index.get(p),
-            &PoolShardRunner(pool),
-        )
+    let (packing, modes) = if modal {
+        let (plan, modes) = flatten_plan(workload, &rank.items);
+        let packing = if pack_cfg.shards > 1 {
+            pack_sharded(&mut target, &plan, &pack_cfg, &PoolShardRunner(pool))
+        } else {
+            pack(&mut target, &plan, &pack_cfg)
+        };
+        (packing, modes)
     } else {
-        pack_prepared(&mut target, &cache.plan, &config.packing, |p| {
-            cache.plan_index.get(p)
-        })
+        let packing = if pack_cfg.shards > 1 {
+            pack_prepared_sharded(
+                &mut target,
+                &cache.plan,
+                &pack_cfg,
+                |p| cache.plan_index.get(p),
+                &PoolShardRunner(pool),
+            )
+        } else {
+            pack_prepared(&mut target, &cache.plan, &pack_cfg, |p| {
+                cache.plan_index.get(p)
+            })
+        };
+        (packing, ModeAssignment::empty())
     };
     let scheduler_time = t1.elapsed();
 
@@ -431,6 +456,7 @@ pub fn replan_with_pool(
         rank,
         packing,
         actions,
+        modes,
         planner_time,
         scheduler_time,
     }
@@ -487,6 +513,7 @@ impl crate::policies::ResiliencePolicy for IncrementalPhoenixPolicy {
         crate::policies::PolicyPlan {
             planning_time: result.total_time(),
             target: result.target,
+            modes: result.modes,
             notes: format!(
                 "warm planner={:?} scheduler={:?} unplaced={}",
                 result.planner_time,
@@ -501,7 +528,7 @@ impl crate::policies::ResiliencePolicy for IncrementalPhoenixPolicy {
 mod tests {
     use super::*;
     use crate::controller::{plan_with, plan_with_pool};
-    use crate::spec::{AppSpecBuilder, Workload};
+    use crate::spec::{AppSpecBuilder, ModeSpec, ServingMode, Workload};
     use crate::tags::Criticality;
     use phoenix_cluster::{NodeId, Resources};
 
@@ -535,6 +562,7 @@ mod tests {
 
     fn assert_equivalent(cold: &PlanResult, warm: &PlanResult) {
         assert_eq!(cold.actions, warm.actions, "action plans diverged");
+        assert_eq!(cold.modes, warm.modes, "mode assignments diverged");
         assert_eq!(cold.rank.items, warm.rank.items);
         assert_eq!(cold.rank.fair_shares, warm.rank.fair_shares);
         assert_eq!(cold.rank.allocated, warm.rank.allocated);
@@ -597,6 +625,123 @@ mod tests {
     fn warm_equals_cold_under_churn_fairness() {
         churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::Full);
         churn_equivalence(ObjectiveKind::Fairness, ReplanDelta::CapacityOnly);
+    }
+
+    /// `workload(seed)` with degraded-serving ladders on roughly half the
+    /// services: 4-rung tables on the even picks, a minimal Full/Shed
+    /// table on some odd ones, and plain services in between.
+    fn modal_workload(seed: u64) -> Workload {
+        let mut apps = Vec::new();
+        for a in 0..6u64 {
+            let mut b = AppSpecBuilder::new(format!("app{a}"));
+            let n = 3 + ((a + seed) % 4) as usize;
+            for s in 0..n {
+                let full = 1.0 + ((s as u64 + seed) % 3) as f64;
+                let id = b.add_service(
+                    format!("s{s}"),
+                    Resources::cpu(full),
+                    Some(Criticality::new(1 + ((s as u64 * 7 + a) % 5) as u8)),
+                    1 + ((s as u64 + a) % 2) as u16,
+                );
+                match (s as u64 + a) % 3 {
+                    0 => {
+                        b.service_modes(
+                            id,
+                            vec![
+                                ModeSpec::new(ServingMode::Full, Resources::cpu(full), 1.0),
+                                ModeSpec::new(
+                                    ServingMode::StaleCache,
+                                    Resources::cpu(full * 0.75),
+                                    0.8,
+                                ),
+                                ModeSpec::new(
+                                    ServingMode::ReadOnly,
+                                    Resources::cpu(full * 0.5),
+                                    0.55,
+                                ),
+                                ModeSpec::new(ServingMode::Shed, Resources::cpu(full * 0.25), 0.1),
+                            ],
+                        );
+                    }
+                    1 => {
+                        b.service_modes(
+                            id,
+                            vec![
+                                ModeSpec::new(ServingMode::Full, Resources::cpu(full), 1.0),
+                                ModeSpec::new(ServingMode::Shed, Resources::cpu(full * 0.2), 0.05),
+                            ],
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            b.price_per_unit(1.0 + (a % 3) as f64);
+            apps.push(b.build().unwrap());
+        }
+        Workload::new(apps)
+    }
+
+    /// Mode-bearing specs through the same churn harness: warm replans —
+    /// sequential, parallel, and sharded — must stay byte-identical to a
+    /// strictly sequential cold plan while ladders are being cut and
+    /// re-extended by the failing/recovering capacity.
+    #[test]
+    fn modal_warm_equals_cold_under_churn() {
+        for kind in [ObjectiveKind::Fairness, ObjectiveKind::Cost] {
+            for threads in [1usize, 4] {
+                for shards in [0usize, 3] {
+                    let pool = Pool::new(threads);
+                    let w = modal_workload(1);
+                    let cold_config = PhoenixConfig::with_objective(kind);
+                    let mut warm_config = PhoenixConfig::with_objective(kind);
+                    warm_config.packing.shards = shards;
+                    warm_config.packing.shard_chunk = 2;
+                    let mut cache = ReplanCache::new();
+                    // Tight enough that several ladders are cut mid-way.
+                    let mut live = ClusterState::homogeneous(6, Resources::cpu(4.0));
+                    for round in 0..6u32 {
+                        let cold = plan_with_pool(&w, &live, &cold_config, &Pool::sequential());
+                        let warm = replan_with_pool(
+                            &w,
+                            &live,
+                            &warm_config,
+                            &mut cache,
+                            ReplanDelta::Full,
+                            &pool,
+                        );
+                        let tag =
+                            format!("{kind:?} threads {threads} shards {shards} round {round}");
+                        assert_eq!(cold.actions, warm.actions, "{tag}");
+                        assert_equivalent(&cold, &warm);
+                        live = warm.target.clone();
+                        match round {
+                            0 => {
+                                live.fail_node(NodeId::new(0));
+                            }
+                            1 => {
+                                live.fail_node(NodeId::new(1));
+                                live.fail_node(NodeId::new(2));
+                            }
+                            2 => {
+                                live.restore_node(NodeId::new(0));
+                            }
+                            3 => {} // steady round
+                            _ => {
+                                live.restore_node(NodeId::new(round % 3));
+                            }
+                        }
+                    }
+                    // Crunch rounds must actually have exercised ladders.
+                    assert!(
+                        cache
+                            .rank
+                            .as_ref()
+                            .is_some_and(|r| r.items.iter().any(|i| i.mode != ServingMode::Full)),
+                        "no degraded rung ever ranked — fixture too loose"
+                    );
+                }
+            }
+        }
     }
 
     /// Warm *sharded* replans vs. cold *unsharded* sequential plans over

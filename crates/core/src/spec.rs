@@ -58,6 +58,88 @@ impl fmt::Display for ServiceId {
     }
 }
 
+/// A discrete serving mode — the cooperative-degradation lattice an
+/// application can declare per service, ordered from best to most degraded.
+///
+/// `Full` is mandatory for every mode table; the degraded rungs are the
+/// production patterns the paper's cooperation story names: serve from a
+/// stale cache, fall back to read-only, or shed all but a trickle of
+/// traffic. A service without a mode table is implicitly `Full`-only and
+/// plans exactly as before modes existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServingMode {
+    /// Normal serving at full capacity and utility.
+    Full,
+    /// Serve cached (possibly stale) responses; writes still accepted.
+    StaleCache,
+    /// Reject writes, keep reads up.
+    ReadOnly,
+    /// Shed almost all traffic; keep a health-check trickle alive.
+    Shed,
+}
+
+impl ServingMode {
+    /// All modes, best first.
+    pub const ALL: [ServingMode; 4] = [
+        ServingMode::Full,
+        ServingMode::StaleCache,
+        ServingMode::ReadOnly,
+        ServingMode::Shed,
+    ];
+
+    /// Depth in the degradation lattice: `Full` is 0, `Shed` is 3.
+    /// "Tightening capacity never *upgrades* a replica" is "depth never
+    /// decreases" in these terms.
+    pub fn depth(self) -> u8 {
+        match self {
+            ServingMode::Full => 0,
+            ServingMode::StaleCache => 1,
+            ServingMode::ReadOnly => 2,
+            ServingMode::Shed => 3,
+        }
+    }
+
+    /// Stable kebab-case label (scorecards, JSON plans).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingMode::Full => "full",
+            ServingMode::StaleCache => "stale-cache",
+            ServingMode::ReadOnly => "read-only",
+            ServingMode::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for ServingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One rung of a service's mode table: what running at `mode` costs and
+/// what fraction of the service's value it still delivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSpec {
+    /// The serving mode this rung describes.
+    pub mode: ServingMode,
+    /// Per-replica resource demand at this mode.
+    pub demand: Resources,
+    /// Utility weight in `[0, ∞)` — the served value per replica relative
+    /// to the service's full value (`Full` is conventionally `1.0`).
+    pub utility: f64,
+}
+
+impl ModeSpec {
+    /// Creates a mode rung.
+    pub fn new(mode: ServingMode, demand: Resources, utility: f64) -> ModeSpec {
+        ModeSpec {
+            mode,
+            demand,
+            utility,
+        }
+    }
+}
+
 /// One microservice of an application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSpec {
@@ -69,6 +151,10 @@ pub struct ServiceSpec {
     pub criticality: Option<Criticality>,
     /// Number of replicas (Appendix D); all-or-nothing activation.
     pub replicas: u16,
+    /// Ordered degraded-serving table (best mode first, `Full` mandatory,
+    /// demand monotonically non-increasing). Empty means the service is
+    /// `Full`-only and plans exactly as it did before modes existed.
+    pub modes: Vec<ModeSpec>,
 }
 
 impl ServiceSpec {
@@ -80,6 +166,29 @@ impl ServiceSpec {
     /// Total demand across replicas.
     pub fn total_demand(&self) -> Resources {
         self.demand * f64::from(self.replicas)
+    }
+
+    /// `true` when the service declared a degraded-serving table.
+    pub fn has_modes(&self) -> bool {
+        !self.modes.is_empty()
+    }
+
+    /// Per-replica demand at `mode`: the table rung when declared,
+    /// otherwise the service's plain demand (so `Full` and mode-less
+    /// lookups are bit-identical to the pre-modes planner).
+    pub fn mode_demand(&self, mode: ServingMode) -> Resources {
+        self.modes
+            .iter()
+            .find(|m| m.mode == mode)
+            .map_or(self.demand, |m| m.demand)
+    }
+
+    /// Per-replica utility weight at `mode` (`1.0` when undeclared).
+    pub fn mode_utility(&self, mode: ServingMode) -> f64 {
+        self.modes
+            .iter()
+            .find(|m| m.mode == mode)
+            .map_or(1.0, |m| m.utility)
     }
 }
 
@@ -110,6 +219,41 @@ pub enum SpecError {
         /// The service with zero replicas.
         service: String,
     },
+    /// A mode table that does not start at `Full` in strictly descending
+    /// lattice order (covers duplicate mode entries).
+    ModeTableOrder {
+        /// App being built.
+        app: String,
+        /// The service with the malformed table.
+        service: String,
+    },
+    /// A per-mode demand or utility weight that is non-finite or negative.
+    ModeValueInvalid {
+        /// App being built.
+        app: String,
+        /// The service with the bad rung.
+        service: String,
+        /// The offending mode.
+        mode: ServingMode,
+    },
+    /// A mode whose demand exceeds the next better mode's demand
+    /// (demand must be monotonically non-increasing from `Full`).
+    ModeDemandNotMonotone {
+        /// App being built.
+        app: String,
+        /// The service with the non-monotone table.
+        service: String,
+        /// The rung that grew.
+        mode: ServingMode,
+    },
+    /// A `Full` table rung whose demand disagrees with the service's
+    /// declared demand — the two would make the planner ambiguous.
+    ModeFullMismatch {
+        /// App being built.
+        app: String,
+        /// The service with the conflicting rung.
+        service: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -127,6 +271,34 @@ impl fmt::Display for SpecError {
             }
             SpecError::ZeroReplicas { app, service } => {
                 write!(f, "app {app}: service {service} has zero replicas")
+            }
+            SpecError::ModeTableOrder { app, service } => {
+                write!(
+                    f,
+                    "app {app}: service {service} mode table must start at Full \
+                     and descend the lattice strictly (no duplicates)"
+                )
+            }
+            SpecError::ModeValueInvalid { app, service, mode } => {
+                write!(
+                    f,
+                    "app {app}: service {service} mode {mode} has a non-finite \
+                     or negative demand/utility"
+                )
+            }
+            SpecError::ModeDemandNotMonotone { app, service, mode } => {
+                write!(
+                    f,
+                    "app {app}: service {service} mode {mode} demands more than \
+                     a better mode (demand must not increase down the lattice)"
+                )
+            }
+            SpecError::ModeFullMismatch { app, service } => {
+                write!(
+                    f,
+                    "app {app}: service {service} Full mode rung disagrees with \
+                     the declared service demand"
+                )
             }
         }
     }
@@ -210,6 +382,11 @@ impl AppSpec {
         self.services.iter().map(ServiceSpec::total_demand).sum()
     }
 
+    /// `true` when any service declared a degraded-serving table.
+    pub fn has_modes(&self) -> bool {
+        self.services.iter().any(ServiceSpec::has_modes)
+    }
+
     /// A cheap structural fingerprint of everything the planner reads:
     /// name, services (name, demand bits, tag, replicas), dependency
     /// edges, price, and the subscription flag.
@@ -231,6 +408,13 @@ impl AppSpec {
                 None => 0,
             });
             h.u64(u64::from(s.replicas));
+            h.u64(s.modes.len() as u64);
+            for m in &s.modes {
+                h.u64(u64::from(m.mode.depth()));
+                h.u64(m.demand.cpu.to_bits());
+                h.u64(m.demand.mem.to_bits());
+                h.u64(m.utility.to_bits());
+            }
         }
         match &self.dependency {
             None => h.u64(0),
@@ -263,6 +447,11 @@ impl AppSpec {
         for s in &mut app.services {
             if demand_factor != 1.0 {
                 s.demand = s.demand * demand_factor.max(0.0);
+                // Scale the mode rungs by the same factor: a non-negative
+                // multiplier preserves the table's monotonicity invariant.
+                for m in &mut s.modes {
+                    m.demand = m.demand * demand_factor.max(0.0);
+                }
             }
             if replica_factor != 1.0 {
                 let scaled = (f64::from(s.replicas) * replica_factor.max(0.0)).round();
@@ -370,8 +559,27 @@ impl AppSpecBuilder {
             demand,
             criticality,
             replicas,
+            modes: Vec::new(),
         });
         id
+    }
+
+    /// Declares `service`'s degraded-serving table (best mode first;
+    /// validated by [`build`](Self::build): `Full` mandatory and matching
+    /// the declared demand, strictly descending lattice order, finite
+    /// non-negative values, demand monotonically non-increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` was not returned by this builder's
+    /// [`add_service`](Self::add_service).
+    pub fn service_modes(
+        &mut self,
+        service: ServiceId,
+        modes: Vec<ModeSpec>,
+    ) -> &mut AppSpecBuilder {
+        self.services[service.index()].modes = modes;
+        self
     }
 
     /// Declares that `caller` invokes `callee` (adds a DG edge). Calling
@@ -418,6 +626,7 @@ impl AppSpecBuilder {
                     service: s.name.clone(),
                 });
             }
+            self.validate_modes(s)?;
         }
         let dependency = if self.has_graph {
             let mut g = DiGraph::with_capacity(self.services.len());
@@ -450,6 +659,61 @@ impl AppSpecBuilder {
             price_per_unit: self.price_per_unit,
             phoenix_enabled: self.phoenix_enabled,
         })
+    }
+
+    /// Mode-table validation (satellite of the serving-modes refactor):
+    /// the table is either absent or a well-formed descending ladder the
+    /// planner can step down without re-checking anything.
+    fn validate_modes(&self, s: &ServiceSpec) -> Result<(), SpecError> {
+        if s.modes.is_empty() {
+            return Ok(());
+        }
+        let bad_number = |r: &ModeSpec| {
+            !r.demand.cpu.is_finite()
+                || !r.demand.mem.is_finite()
+                || !r.utility.is_finite()
+                || r.demand.cpu < 0.0
+                || r.demand.mem < 0.0
+                || r.utility < 0.0
+        };
+        for r in &s.modes {
+            if bad_number(r) {
+                return Err(SpecError::ModeValueInvalid {
+                    app: self.name.clone(),
+                    service: s.name.clone(),
+                    mode: r.mode,
+                });
+            }
+        }
+        if s.modes[0].mode != ServingMode::Full {
+            return Err(SpecError::ModeTableOrder {
+                app: self.name.clone(),
+                service: s.name.clone(),
+            });
+        }
+        if s.modes[0].demand != s.demand {
+            return Err(SpecError::ModeFullMismatch {
+                app: self.name.clone(),
+                service: s.name.clone(),
+            });
+        }
+        for pair in s.modes.windows(2) {
+            // Strictly descending lattice order also rejects duplicates.
+            if pair[1].mode.depth() <= pair[0].mode.depth() {
+                return Err(SpecError::ModeTableOrder {
+                    app: self.name.clone(),
+                    service: s.name.clone(),
+                });
+            }
+            if pair[1].demand.cpu > pair[0].demand.cpu || pair[1].demand.mem > pair[0].demand.mem {
+                return Err(SpecError::ModeDemandNotMonotone {
+                    app: self.name.clone(),
+                    service: s.name.clone(),
+                    mode: pair[1].mode,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -527,6 +791,74 @@ impl Workload {
     /// Panics if the id is out of bounds.
     pub fn scale_app(&mut self, app: AppId, demand_factor: f64, replica_factor: f64) {
         self.apps[app.index()] = self.apps[app.index()].scaled(demand_factor, replica_factor);
+    }
+
+    /// `true` when any app declared degraded-serving tables. Gates every
+    /// mode-aware planner path, so mode-less workloads run the exact
+    /// pre-modes code.
+    pub fn has_modes(&self) -> bool {
+        self.apps.iter().any(AppSpec::has_modes)
+    }
+}
+
+/// The planner's chosen serving mode per `(app, service)` — the mode half
+/// of a plan, next to the placement half ([`ActionPlan`]).
+///
+/// Unset slots read as [`ServingMode::Full`], so the empty assignment is
+/// the correct answer for every mode-less plan.
+///
+/// [`ActionPlan`]: crate::actions::ActionPlan
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModeAssignment {
+    per_app: Vec<Vec<ServingMode>>,
+}
+
+impl ModeAssignment {
+    /// The all-`Full` assignment (what mode-less planning produces).
+    pub fn empty() -> ModeAssignment {
+        ModeAssignment::default()
+    }
+
+    /// Shapes an all-`Full` assignment for `workload`.
+    pub fn for_workload(workload: &Workload) -> ModeAssignment {
+        ModeAssignment {
+            per_app: workload
+                .apps()
+                .map(|(_, a)| vec![ServingMode::Full; a.service_count()])
+                .collect(),
+        }
+    }
+
+    /// Sets one service's chosen mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not shaped by
+    /// [`for_workload`](Self::for_workload).
+    pub fn set(&mut self, app: AppId, service: ServiceId, mode: ServingMode) {
+        self.per_app[app.index()][service.index()] = mode;
+    }
+
+    /// One service's chosen mode (`Full` when never set).
+    pub fn get(&self, app: AppId, service: ServiceId) -> ServingMode {
+        self.per_app
+            .get(app.index())
+            .and_then(|svcs| svcs.get(service.index()))
+            .copied()
+            .unwrap_or(ServingMode::Full)
+    }
+
+    /// The chosen mode of a pod's service (`Full` when never set).
+    pub fn mode_of_pod(&self, pod: PodKey) -> ServingMode {
+        self.get(AppId(pod.app), ServiceId(pod.service))
+    }
+
+    /// `true` when every slot is `Full` — i.e. the assignment carries no
+    /// information beyond the default.
+    pub fn is_all_full(&self) -> bool {
+        self.per_app
+            .iter()
+            .all(|svcs| svcs.iter().all(|&m| m == ServingMode::Full))
     }
 }
 
@@ -644,5 +976,148 @@ mod tests {
         assert!(w.service_of_pod(PodKey::new(0, 1, 5)).is_none());
         assert!(w.service_of_pod(PodKey::new(9, 0, 0)).is_none());
         assert_eq!(w.total_demand(), Resources::cpu(4.0));
+    }
+
+    fn full_ladder() -> Vec<ModeSpec> {
+        vec![
+            ModeSpec::new(ServingMode::Full, Resources::cpu(4.0), 1.0),
+            ModeSpec::new(ServingMode::StaleCache, Resources::cpu(3.0), 0.8),
+            ModeSpec::new(ServingMode::ReadOnly, Resources::cpu(2.0), 0.5),
+            ModeSpec::new(ServingMode::Shed, Resources::cpu(0.5), 0.05),
+        ]
+    }
+
+    fn modal_build(modes: Vec<ModeSpec>) -> Result<AppSpec, SpecError> {
+        let mut b = AppSpecBuilder::new("m");
+        let s = b.add_service("fe", Resources::cpu(4.0), Some(Criticality::C1), 2);
+        b.service_modes(s, modes);
+        b.build()
+    }
+
+    #[test]
+    fn mode_table_builds_and_is_queryable() {
+        let app = modal_build(full_ladder()).unwrap();
+        let svc = &app.services()[0];
+        assert!(svc.has_modes() && app.has_modes());
+        assert_eq!(svc.mode_demand(ServingMode::ReadOnly), Resources::cpu(2.0));
+        assert_eq!(svc.mode_utility(ServingMode::Shed), 0.05);
+        // A mode-less service answers every mode query with its plain
+        // demand and unit utility.
+        let plain = two_service_app();
+        assert_eq!(
+            plain.services()[0].mode_demand(ServingMode::Shed),
+            Resources::cpu(2.0)
+        );
+        assert_eq!(plain.services()[0].mode_utility(ServingMode::ReadOnly), 1.0);
+        // The table is part of the structural identity.
+        let modeless = modal_build(Vec::new()).unwrap();
+        assert_ne!(app.fingerprint(), modeless.fingerprint());
+    }
+
+    #[test]
+    fn mode_table_rejects_non_finite_demand() {
+        let mut ladder = full_ladder();
+        // Raw literal: `Resources::cpu` would reject NaN itself, but specs
+        // can arrive from non-builder paths (deserialization).
+        ladder[2].demand = Resources {
+            cpu: f64::NAN,
+            mem: 0.0,
+        };
+        assert_eq!(
+            modal_build(ladder),
+            Err(SpecError::ModeValueInvalid {
+                app: "m".into(),
+                service: "fe".into(),
+                mode: ServingMode::ReadOnly,
+            })
+        );
+    }
+
+    #[test]
+    fn mode_table_rejects_negative_demand_or_utility() {
+        let mut ladder = full_ladder();
+        ladder[3].utility = -0.1;
+        assert!(matches!(
+            modal_build(ladder),
+            Err(SpecError::ModeValueInvalid {
+                mode: ServingMode::Shed,
+                ..
+            })
+        ));
+        let mut ladder = full_ladder();
+        ladder[1].demand = Resources {
+            cpu: -1.0,
+            mem: 0.0,
+        };
+        assert!(matches!(
+            modal_build(ladder),
+            Err(SpecError::ModeValueInvalid {
+                mode: ServingMode::StaleCache,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn mode_table_rejects_non_monotone_demand() {
+        let mut ladder = full_ladder();
+        ladder[2].demand = Resources::cpu(3.5); // above the stale-cache rung
+        assert_eq!(
+            modal_build(ladder),
+            Err(SpecError::ModeDemandNotMonotone {
+                app: "m".into(),
+                service: "fe".into(),
+                mode: ServingMode::ReadOnly,
+            })
+        );
+    }
+
+    #[test]
+    fn mode_table_rejects_duplicate_and_misordered_modes() {
+        let mut ladder = full_ladder();
+        ladder[2].mode = ServingMode::StaleCache; // duplicate rung
+        assert!(matches!(
+            modal_build(ladder),
+            Err(SpecError::ModeTableOrder { .. })
+        ));
+        let mut ladder = full_ladder();
+        ladder.swap(1, 2); // ascending-order violation
+        assert!(matches!(
+            modal_build(ladder),
+            Err(SpecError::ModeTableOrder { .. })
+        ));
+        // First rung must be Full.
+        let headless = full_ladder()[1..].to_vec();
+        assert!(matches!(
+            modal_build(headless),
+            Err(SpecError::ModeTableOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn mode_table_rejects_full_rung_demand_mismatch() {
+        let mut ladder = full_ladder();
+        ladder[0].demand = Resources::cpu(3.9); // != declared service demand
+        assert_eq!(
+            modal_build(ladder),
+            Err(SpecError::ModeFullMismatch {
+                app: "m".into(),
+                service: "fe".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn mode_assignment_defaults_and_lookup() {
+        let w = Workload::new(vec![two_service_app()]);
+        let empty = ModeAssignment::empty();
+        assert!(empty.is_all_full());
+        assert_eq!(empty.get(AppId(0), ServiceId(1)), ServingMode::Full);
+        let mut m = ModeAssignment::for_workload(&w);
+        assert!(m.is_all_full());
+        m.set(AppId(0), ServiceId(1), ServingMode::Shed);
+        assert!(!m.is_all_full());
+        assert_eq!(m.mode_of_pod(PodKey::new(0, 1, 0)), ServingMode::Shed);
+        assert_eq!(m.get(AppId(0), ServiceId(0)), ServingMode::Full);
     }
 }

@@ -652,6 +652,7 @@ impl crate::policies::ResiliencePolicy for StatefulAwarePolicy {
         crate::policies::PolicyPlan {
             target: plan.target,
             planning_time,
+            modes: crate::spec::ModeAssignment::empty(),
             notes: if plan.stranded.is_empty() {
                 String::new()
             } else {

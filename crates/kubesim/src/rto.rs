@@ -149,6 +149,70 @@ impl RtoReport {
     }
 }
 
+/// Served-utility summary of a trace around a disruption: how much
+/// utility the cluster kept serving while degraded. Binary place/evict
+/// policies give up a service's whole weight the moment it no longer
+/// fits; mode-aware plans keep a degraded fraction — this report is what
+/// the scorecards compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityReport {
+    /// Served utility just before the disruption.
+    pub baseline: f64,
+    /// Minimum served utility at or after the disruption.
+    pub worst: f64,
+    /// Mean served utility over all samples at or after the disruption.
+    pub mean: f64,
+}
+
+impl UtilityReport {
+    /// `worst / baseline`, clamped to 1.0 when nothing was served before
+    /// the disruption (an empty baseline cannot be degraded).
+    pub fn worst_fraction(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.worst / self.baseline
+        } else {
+            1.0
+        }
+    }
+
+    /// `mean / baseline` with the same empty-baseline convention.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.mean / self.baseline
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Summarizes served utility around a disruption at `failure_at`: the
+/// baseline is the last sample strictly before the event, `worst`/`mean`
+/// aggregate every sample at or after it. With no post-event samples the
+/// report degenerates to the baseline (nothing was disrupted in-trace).
+pub fn evaluate_utility(trace: &SimTrace, failure_at: SimTime) -> UtilityReport {
+    let baseline = trace.utility_at(failure_at.saturating_sub(SimTime::from_millis(1)));
+    let mut worst = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for sample in trace.samples.iter().filter(|s| s.at >= failure_at) {
+        worst = worst.min(sample.utility);
+        sum += sample.utility;
+        count += 1;
+    }
+    if count == 0 {
+        return UtilityReport {
+            baseline,
+            worst: baseline,
+            mean: baseline,
+        };
+    }
+    UtilityReport {
+        baseline,
+        worst,
+        mean: sum / count as f64,
+    }
+}
+
 /// Evaluates `trace` against `policy`: for every service that was serving
 /// before `failure_at` and stopped at/after it, record the first outage
 /// episode and check its tier's objective.
@@ -351,6 +415,67 @@ mod tests {
         };
         assert_eq!(ok.severity(horizon), 0);
         assert!(ok.satisfied());
+    }
+
+    #[test]
+    fn utility_report_ranks_modal_above_binary_under_crunch() {
+        use phoenix_core::spec::{ModeSpec, ServingMode};
+        // One 2-service app; chat can degrade to a 1-CPU read-only mode.
+        let web = |ladder: bool| {
+            let mut b = AppSpecBuilder::new("web");
+            b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+            let chat = b.add_service("chat", Resources::cpu(2.0), Some(Criticality::C5), 1);
+            if ladder {
+                b.service_modes(
+                    chat,
+                    vec![
+                        ModeSpec::new(ServingMode::Full, Resources::cpu(2.0), 1.0),
+                        ModeSpec::new(ServingMode::ReadOnly, Resources::cpu(1.0), 0.6),
+                    ],
+                );
+            }
+            Workload::new(vec![b.build().unwrap()])
+        };
+        let cfg = SimConfig::default();
+        let horizon = SimTime::from_secs(2000);
+        let failure_at = SimTime::from_secs(300);
+        // One 4-CPU node gray-fails to 3 CPUs for 20 minutes. Binary keeps
+        // only the frontend; modal also serves chat read-only.
+        let mut s = Scenario::new(1, Resources::cpu(4.0));
+        s.capacity_degrade_at(failure_at, [0], 0.75);
+        s.capacity_restore_at(SimTime::from_secs(1500), [0]);
+        let m = simulate(&web(true), &PhoenixPolicy::fair(), &s, &cfg, horizon);
+        let b = simulate(&web(false), &PhoenixPolicy::fair(), &s, &cfg, horizon);
+        let mu = evaluate_utility(&m, failure_at);
+        let bu = evaluate_utility(&b, failure_at);
+        assert!((mu.baseline - 2.0).abs() < 1e-9);
+        assert!((bu.baseline - 2.0).abs() < 1e-9);
+        // The crunch costs the binary plan a whole service; the modal plan
+        // keeps every tier serving in some mode.
+        assert!(
+            mu.mean > bu.mean,
+            "modal mean {} should beat binary mean {}",
+            mu.mean,
+            bu.mean
+        );
+        assert!(mu.mean_fraction() <= 1.0 + 1e-9);
+        assert!(bu.worst_fraction() < mu.mean_fraction());
+    }
+
+    #[test]
+    fn utility_report_degenerates_without_post_event_samples() {
+        let w = workload();
+        let trace = simulate(
+            &w,
+            &PhoenixPolicy::fair(),
+            &Scenario::new(4, Resources::cpu(2.0)),
+            &SimConfig::default(),
+            SimTime::from_secs(120),
+        );
+        let report = evaluate_utility(&trace, SimTime::from_secs(600));
+        assert_eq!(report.baseline, report.worst);
+        assert_eq!(report.baseline, report.mean);
+        assert!((report.worst_fraction() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -6,9 +6,9 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use phoenix_cluster::{ClusterState, NodeId, PodKey};
-use phoenix_core::actions::{diff_states, Action};
+use phoenix_core::actions::{diff_states, mode_shift_actions, Action};
 use phoenix_core::policies::ResiliencePolicy;
-use phoenix_core::spec::{AppId, Workload};
+use phoenix_core::spec::{AppId, ServingMode, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +113,12 @@ pub struct TraceSample {
     pub at: SimTime,
     /// Sorted list of serving pods.
     pub serving: Vec<PodKey>,
+    /// Served utility at this instant: every serving pod contributes its
+    /// service's current-mode utility weight, normalized by replica count,
+    /// so a fully-served service contributes exactly its weight. Mode-less
+    /// workloads weigh every service 1.0 — utility is then the count of
+    /// fully-served services.
+    pub utility: f64,
 }
 
 /// Full output of a simulation run.
@@ -133,6 +139,15 @@ impl SimTrace {
             Ok(i) => &self.samples[i].serving,
             Err(0) => &[],
             Err(i) => &self.samples[i - 1].serving,
+        }
+    }
+
+    /// Served utility at the latest sample ≤ `t` (0.0 before first sample).
+    pub fn utility_at(&self, t: SimTime) -> f64 {
+        match self.samples.binary_search_by_key(&t, |s| s.at) {
+            Ok(i) => self.samples[i].utility,
+            Err(0) => 0.0,
+            Err(i) => self.samples[i - 1].utility,
         }
     }
 
@@ -176,17 +191,28 @@ enum Event {
     Sample,
     DeleteDone(PodKey),
     /// Issue a start: the capacity it needs was freed by deletions whose
-    /// completion events fire strictly earlier.
+    /// completion events fire strictly earlier. `mode` is the serving mode
+    /// the plan chose for the pod's service (always `Full` on mode-less
+    /// workloads) — the booking is sized to that mode's demand.
     StartIssued {
         pod: PodKey,
         node: NodeId,
+        mode: ServingMode,
         ready_at: SimTime,
     },
     /// Issue a migration (start replacement, reroute, delete original).
+    /// The replacement instance comes up in the plan's chosen `mode`.
     MigrateIssued {
         pod: PodKey,
         to: NodeId,
+        mode: ServingMode,
         done_at: SimTime,
+    },
+    /// An in-place serving-mode reconfiguration reached the pod: resize
+    /// its booking and flip the ledger. Only emitted for modal workloads.
+    ModeShiftApplied {
+        pod: PodKey,
+        to: ServingMode,
     },
     StartDone(PodKey),
 }
@@ -260,6 +286,9 @@ pub fn simulate(
     let mut degrade_truth = vec![1.0f64; n];
 
     let mut phase: HashMap<PodKey, Phase> = HashMap::new();
+    // Which serving mode each live pod currently runs in. Absent = `Full`,
+    // so mode-less workloads never touch it meaningfully.
+    let mut pod_mode: HashMap<PodKey, ServingMode> = HashMap::new();
     let mut actions_in_flight: usize = 0;
     let mut dirty = false;
     let mut failure_pending_recovery = false;
@@ -271,6 +300,7 @@ pub fn simulate(
     for (pod, node, demand) in initial.target.assignments() {
         state.assign(pod, demand, node).expect("initial plan fits");
         phase.insert(pod, Phase::Running);
+        pod_mode.insert(pod, initial.modes.mode_of_pod(pod));
     }
 
     for ev in &scenario.events {
@@ -459,6 +489,7 @@ pub fn simulate(
                     {
                         for (pod, _) in state.fail_node(node) {
                             phase.remove(&pod);
+                            pod_mode.remove(&pod);
                         }
                         detected_failure = true;
                     }
@@ -479,6 +510,7 @@ pub fn simulate(
                         degrade_changed = true;
                         for (pod, _) in state.set_degrade(node, degrade_truth[i]) {
                             phase.remove(&pod);
+                            pod_mode.remove(&pod);
                             degrade_evicted = true;
                         }
                     }
@@ -502,13 +534,27 @@ pub fn simulate(
 
                 if dirty && actions_in_flight == 0 {
                     let wl = surged.as_ref().unwrap_or(workload);
+                    let modal = wl.has_modes();
                     let plan = policy.plan(wl, &state);
                     trace.plans.push((now, plan.planning_time));
                     trace.milestones.push(Milestone {
                         at: now,
                         kind: MilestoneKind::Plan,
                     });
-                    let actions = diff_states(&state, &plan.target);
+                    let mut actions = diff_states(&state, &plan.target);
+                    if modal {
+                        // Placement-stable pods whose chosen mode changed
+                        // get an in-place reconfiguration instead of a
+                        // restart; the splice keeps the safe order
+                        // (deletes → migrations → shifts → starts).
+                        let shifts = mode_shift_actions(
+                            &state,
+                            &plan.target,
+                            |p| pod_mode.get(&p).copied().unwrap_or(ServingMode::Full),
+                            &plan.modes,
+                        );
+                        actions.insert_mode_shifts(shifts);
+                    }
                     dirty = false;
                     if !actions.is_empty() {
                         trace.milestones.push(Milestone {
@@ -540,20 +586,37 @@ pub fn simulate(
                                     let done_at = cursor
                                         + config.latency.start.sample(&mut rng)
                                         + config.latency.reroute.sample(&mut rng);
+                                    let mode = plan.modes.mode_of_pod(pod);
                                     queue.schedule(
                                         cursor,
-                                        Event::MigrateIssued { pod, to, done_at },
+                                        Event::MigrateIssued {
+                                            pod,
+                                            to,
+                                            mode,
+                                            done_at,
+                                        },
                                     );
+                                    actions_in_flight += 1;
+                                }
+                                Action::ModeShift { pod, to, .. } => {
+                                    // A config push plus traffic reroute:
+                                    // no pod restart, so only the reroute
+                                    // latency applies.
+                                    cursor += config.latency.issue_overhead.sample(&mut rng);
+                                    let apply_at = cursor + config.latency.reroute.sample(&mut rng);
+                                    queue.schedule(apply_at, Event::ModeShiftApplied { pod, to });
                                     actions_in_flight += 1;
                                 }
                                 Action::Start { pod, node } => {
                                     cursor += config.latency.issue_overhead.sample(&mut rng);
                                     let ready_at = cursor + config.latency.start.sample(&mut rng);
+                                    let mode = plan.modes.mode_of_pod(pod);
                                     queue.schedule(
                                         cursor,
                                         Event::StartIssued {
                                             pod,
                                             node,
+                                            mode,
                                             ready_at,
                                         },
                                     );
@@ -577,6 +640,7 @@ pub fn simulate(
                 if phase.get(&pod) == Some(&Phase::Terminating) {
                     let _ = state.remove(pod);
                     phase.remove(&pod);
+                    pod_mode.remove(&pod);
                 }
                 actions_in_flight = actions_in_flight.saturating_sub(1);
                 if actions_in_flight == 0 && failure_pending_recovery {
@@ -590,13 +654,16 @@ pub fn simulate(
             Event::StartIssued {
                 pod,
                 node,
+                mode,
                 ready_at,
             } => {
+                // Book the chosen mode's demand; `mode_demand(Full)` is the
+                // plain service demand, so mode-less plans book as before.
                 let looked_up = surged
                     .as_ref()
                     .unwrap_or(workload)
                     .service_of_pod(pod)
-                    .map(|(_, s)| s.demand);
+                    .map(|(_, s)| s.mode_demand(mode));
                 let Some(demand) = looked_up else {
                     // A surge shrank the app between plan and issue and the
                     // pod no longer exists: drop the start and replan.
@@ -614,6 +681,7 @@ pub fn simulate(
                 match state.assign(pod, demand, node) {
                     Ok(()) => {
                         phase.insert(pod, Phase::Starting);
+                        pod_mode.insert(pod, mode);
                         queue.schedule(ready_at, Event::StartDone(pod));
                     }
                     Err(_) => {
@@ -631,11 +699,39 @@ pub fn simulate(
                     }
                 }
             }
-            Event::MigrateIssued { pod, to, done_at } => {
+            Event::MigrateIssued {
+                pod,
+                to,
+                mode,
+                done_at,
+            } => {
                 // Old instance keeps serving while the replacement starts;
                 // the booking moves atomically, falling back to staying put
                 // when the target cannot host the pod anymore.
                 if state.node_of(pod).is_some() && state.migrate(pod, to).is_ok() {
+                    let wl = surged.as_ref().unwrap_or(workload);
+                    if wl.has_modes() {
+                        // The replacement instance comes up in the plan's
+                        // chosen mode: rebook at that mode's demand. Shrinks
+                        // always fit; a grow that no longer fits keeps the
+                        // old booking and lets the next tick replan.
+                        let want = wl.service_of_pod(pod).map(|(_, s)| s.mode_demand(mode));
+                        match want {
+                            Some(want) if state.demand_of(pod) != Some(want) => {
+                                let (node, old) = state.remove(pod).expect("just migrated");
+                                if state.assign(pod, want, node).is_ok() {
+                                    pod_mode.insert(pod, mode);
+                                } else {
+                                    state.assign(pod, old, node).expect("old booking fits");
+                                    dirty = true;
+                                }
+                            }
+                            Some(_) => {
+                                pod_mode.insert(pod, mode);
+                            }
+                            None => {}
+                        }
+                    }
                     queue.schedule(done_at, Event::StartDone(pod));
                 } else {
                     actions_in_flight = actions_in_flight.saturating_sub(1);
@@ -647,6 +743,43 @@ pub fn simulate(
                         });
                         failure_pending_recovery = false;
                     }
+                }
+            }
+            Event::ModeShiftApplied { pod, to } => {
+                // Resize the live booking to the new mode's demand. The pod
+                // never stops serving: a shift is a config flip, not a
+                // restart. A grow that no longer fits (capacity changed
+                // since the plan) keeps the old booking and replans.
+                let want = surged
+                    .as_ref()
+                    .unwrap_or(workload)
+                    .service_of_pod(pod)
+                    .map(|(_, s)| s.mode_demand(to));
+                match (state.node_of(pod), want) {
+                    (Some(node), Some(want)) => {
+                        if state.demand_of(pod) == Some(want) {
+                            pod_mode.insert(pod, to);
+                        } else {
+                            let (_, old) = state.remove(pod).expect("pod is assigned");
+                            if state.assign(pod, want, node).is_ok() {
+                                pod_mode.insert(pod, to);
+                            } else {
+                                state.assign(pod, old, node).expect("old booking fits");
+                                dirty = true;
+                            }
+                        }
+                    }
+                    // The pod was evicted (or the service vanished in a
+                    // surge) between plan and apply: nothing to shift.
+                    _ => dirty = true,
+                }
+                actions_in_flight = actions_in_flight.saturating_sub(1);
+                if actions_in_flight == 0 && failure_pending_recovery {
+                    trace.milestones.push(Milestone {
+                        at: now,
+                        kind: MilestoneKind::Recovered,
+                    });
+                    failure_pending_recovery = false;
                 }
             }
             Event::StartDone(pod) => {
@@ -671,7 +804,20 @@ pub fn simulate(
                     .map(|(pod, _, _)| pod)
                     .collect();
                 serving.sort();
-                trace.samples.push(TraceSample { at: now, serving });
+                let wl = surged.as_ref().unwrap_or(workload);
+                let utility = serving
+                    .iter()
+                    .filter_map(|&pod| {
+                        let (_, svc) = wl.service_of_pod(pod)?;
+                        let mode = pod_mode.get(&pod).copied().unwrap_or(ServingMode::Full);
+                        Some(svc.mode_utility(mode) / f64::from(svc.replicas))
+                    })
+                    .sum();
+                trace.samples.push(TraceSample {
+                    at: now,
+                    serving,
+                    utility,
+                });
                 let next = now + config.sample_interval;
                 if next <= horizon {
                     queue.schedule(next, Event::Sample);
@@ -890,6 +1036,50 @@ mod tests {
         // …and the restore brings chat back.
         assert!(trace.first_kind(MilestoneKind::CapacityRestored).is_some());
         assert!(trace.service_up(&w, 0, 1, SimTime::from_secs(1390)));
+    }
+
+    #[test]
+    fn modal_workload_serves_partial_utility_under_crunch() {
+        use phoenix_core::spec::{ModeSpec, ServingMode};
+        // Same shapes as `workload()`, but chat can degrade to a 1-CPU
+        // read-only mode worth 0.6 of its full utility.
+        let modal = {
+            let mut b = AppSpecBuilder::new("web");
+            b.add_service("fe", Resources::cpu(2.0), Some(Criticality::C1), 1);
+            let chat = b.add_service("chat", Resources::cpu(2.0), Some(Criticality::C5), 1);
+            b.service_modes(
+                chat,
+                vec![
+                    ModeSpec::new(ServingMode::Full, Resources::cpu(2.0), 1.0),
+                    ModeSpec::new(ServingMode::ReadOnly, Resources::cpu(1.0), 0.6),
+                ],
+            );
+            Workload::new(vec![b.build().unwrap()])
+        };
+        let binary = workload();
+        // One 4-CPU node gray-fails to 3 CPUs at 300 s, restores at 900 s.
+        let mut s = Scenario::new(1, Resources::cpu(4.0));
+        s.capacity_degrade_at(SimTime::from_secs(300), [0], 0.75);
+        s.capacity_restore_at(SimTime::from_secs(900), [0]);
+        let cfg = SimConfig::default();
+        let horizon = SimTime::from_secs(1400);
+        let m = simulate(&modal, &PhoenixPolicy::fair(), &s, &cfg, horizon);
+        let b = simulate(&binary, &PhoenixPolicy::fair(), &s, &cfg, horizon);
+        // Steady state: both serve every service at full weight.
+        assert!((m.utility_at(SimTime::from_secs(250)) - 2.0).abs() < 1e-9);
+        assert!((b.utility_at(SimTime::from_secs(250)) - 2.0).abs() < 1e-9);
+        // Under the crunch the binary planner keeps only the frontend; the
+        // modal planner also serves chat read-only — strictly more utility.
+        assert!((b.utility_at(SimTime::from_secs(850)) - 1.0).abs() < 1e-9);
+        assert!((m.utility_at(SimTime::from_secs(850)) - 1.6).abs() < 1e-9);
+        // Capacity returns: both recover full utility (the modal path via
+        // an in-place upgrade shift when chat stayed put).
+        assert!((m.utility_at(SimTime::from_secs(1390)) - 2.0).abs() < 1e-9);
+        assert!((b.utility_at(SimTime::from_secs(1390)) - 2.0).abs() < 1e-9);
+        // The run stays deterministic with modes in play.
+        let again = simulate(&modal, &PhoenixPolicy::fair(), &s, &cfg, horizon);
+        assert_eq!(m.samples, again.samples);
+        assert_eq!(m.milestones, again.milestones);
     }
 
     #[test]

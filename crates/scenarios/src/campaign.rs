@@ -10,10 +10,10 @@
 
 use phoenix_cluster::Resources;
 use phoenix_core::policies::ResiliencePolicy;
-use phoenix_core::spec::{AppSpecBuilder, Workload};
+use phoenix_core::spec::{AppSpecBuilder, ModeSpec, ServingMode, Workload};
 use phoenix_core::tags::Criticality;
 use phoenix_exec::Pool;
-use phoenix_kubesim::rto::{evaluate_rto, RtoPolicy};
+use phoenix_kubesim::rto::{evaluate_rto, evaluate_utility, RtoPolicy};
 use phoenix_kubesim::run::{simulate, SimConfig};
 use phoenix_kubesim::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,16 @@ pub struct RunScore {
     pub min_availability: f64,
     /// Pod availability (same definition) at the final sample.
     pub final_availability: f64,
+    /// Lowest served-utility sample at/after the first disruption, as a
+    /// fraction of the pre-disruption baseline. On mode-less workloads
+    /// this tracks whole-service availability; on modal workloads it
+    /// credits degraded serving — the utility-under-crunch metric.
+    /// Defaults to 0.0 when deserializing pre-modes score documents.
+    #[serde(default)]
+    pub min_utility: f64,
+    /// Served-utility fraction (same definition) at the final sample.
+    #[serde(default)]
+    pub final_utility: f64,
     /// Number of plans the agent produced.
     pub plans: u32,
 }
@@ -89,6 +99,13 @@ pub struct FamilyScorecard {
     pub mean_min_availability: f64,
     /// Mean of the per-run final availability.
     pub mean_final_availability: f64,
+    /// Mean of the per-run minimum utility fraction (see
+    /// [`RunScore::min_utility`]). Defaults to 0.0 on pre-modes documents.
+    #[serde(default)]
+    pub mean_min_utility: f64,
+    /// Mean of the per-run final utility fraction.
+    #[serde(default)]
+    pub mean_final_utility: f64,
     /// Worst C1 restoration across the cell (milliseconds).
     #[serde(default, skip_serializing_if = "is_none_u64")]
     pub worst_c1_recovery_ms: Option<u64>,
@@ -107,6 +124,18 @@ pub struct CampaignOutcome {
 /// `apps` tiered applications (critical frontend ×2, important mid tier,
 /// optional cache + batch) with chain dependencies and varied pricing.
 pub fn demo_workload(apps: u32) -> Workload {
+    demo_build(apps, false)
+}
+
+/// [`demo_workload`] with degraded-serving ladders on the non-critical
+/// tiers: `cache` can serve read-only at half demand, `batch` can shed to
+/// a quarter-demand stub. `Full` demands match [`demo_workload`] exactly,
+/// so binary-vs-modal campaign comparisons isolate mode selection.
+pub fn demo_workload_modal(apps: u32) -> Workload {
+    demo_build(apps, true)
+}
+
+fn demo_build(apps: u32, modal: bool) -> Workload {
     let mut out = Vec::new();
     for a in 0..apps.max(1) as u64 {
         let mut b = AppSpecBuilder::new(format!("app{a}"));
@@ -123,6 +152,22 @@ pub fn demo_workload(apps: u32) -> Workload {
         b.add_dependency(mid, cache);
         b.add_dependency(mid, batch);
         b.price_per_unit(1.0 + (a % 3) as f64);
+        if modal {
+            b.service_modes(
+                cache,
+                vec![
+                    ModeSpec::new(ServingMode::Full, Resources::cpu(1.0), 1.0),
+                    ModeSpec::new(ServingMode::ReadOnly, Resources::cpu(0.5), 0.6),
+                ],
+            );
+            b.service_modes(
+                batch,
+                vec![
+                    ModeSpec::new(ServingMode::Full, Resources::cpu(2.0), 1.0),
+                    ModeSpec::new(ServingMode::Shed, Resources::cpu(0.5), 0.1),
+                ],
+            );
+        }
         out.push(b.build().expect("valid demo spec"));
     }
     Workload::new(out)
@@ -216,6 +261,13 @@ pub fn run_campaign_on(
             .filter_map(|o| o.duration())
             .max();
 
+        let utility = evaluate_utility(&trace, disruption);
+        let final_utility = if utility.baseline <= 0.0 {
+            1.0
+        } else {
+            trace.samples.last().map_or(0.0, |s| s.utility) / utility.baseline
+        };
+
         RunScore {
             scenario: doc.name.clone(),
             family: doc.family.clone(),
@@ -230,6 +282,8 @@ pub fn run_campaign_on(
                 final_availability
             },
             final_availability,
+            min_utility: utility.worst_fraction(),
+            final_utility,
             plans: trace.plans.len() as u32,
         }
     });
@@ -259,6 +313,8 @@ fn aggregate(scores: &[RunScore]) -> Vec<FamilyScorecard> {
                     violations: 0,
                     mean_min_availability: 0.0,
                     mean_final_availability: 0.0,
+                    mean_min_utility: 0.0,
+                    mean_final_utility: 0.0,
                     worst_c1_recovery_ms: None,
                 });
                 cards.last_mut().expect("just pushed")
@@ -270,12 +326,16 @@ fn aggregate(scores: &[RunScore]) -> Vec<FamilyScorecard> {
         // Accumulate sums; normalized to means below.
         card.mean_min_availability += s.min_availability;
         card.mean_final_availability += s.final_availability;
+        card.mean_min_utility += s.min_utility;
+        card.mean_final_utility += s.final_utility;
         card.worst_c1_recovery_ms = card.worst_c1_recovery_ms.max(s.worst_c1_recovery_ms);
     }
     for c in &mut cards {
         let n = f64::from(c.scenarios.max(1));
         c.mean_min_availability /= n;
         c.mean_final_availability /= n;
+        c.mean_min_utility /= n;
+        c.mean_final_utility /= n;
     }
     cards
 }
@@ -380,6 +440,51 @@ mod tests {
             "PhoenixFair {} < Default {}",
             passes("PhoenixFair"),
             passes("Default")
+        );
+    }
+
+    #[test]
+    fn modal_workload_outscores_binary_on_utility_in_some_family() {
+        // Same suite, same policy, same Full demands — the only difference
+        // is that the modal workload declares degraded-serving ladders on
+        // cache/batch. Under crunch the planner can step those tiers down
+        // a rung instead of evicting, so at least one family's scorecard
+        // must record strictly more served utility (the ISSUE acceptance
+        // criterion: mode selection beats binary place/evict).
+        let cfg = GeneratorConfig {
+            nodes: 4,
+            ..small_cfg()
+        };
+        let suite = generate_suite(&cfg);
+        let policies: Vec<Box<dyn ResiliencePolicy>> = vec![Box::new(PhoenixPolicy::fair())];
+        let ccfg = CampaignConfig::default();
+        let binary = run_campaign(&demo_workload(2), &suite, &policies, &ccfg).unwrap();
+        let modal = run_campaign(&demo_workload_modal(2), &suite, &policies, &ccfg).unwrap();
+        assert_eq!(binary.scorecards.len(), modal.scorecards.len());
+        let mut some_family_strictly_better = false;
+        for (b, m) in binary.scorecards.iter().zip(&modal.scorecards) {
+            assert_eq!(
+                (b.family.as_str(), b.policy.as_str()),
+                (m.family.as_str(), m.policy.as_str())
+            );
+            assert!(m.mean_min_utility >= 0.0 && m.mean_min_utility <= 1.0 + 1e-9);
+            if m.mean_min_utility > b.mean_min_utility + 1e-9 {
+                some_family_strictly_better = true;
+            }
+        }
+        assert!(
+            some_family_strictly_better,
+            "no family scorecard showed modal utility strictly above binary: {:?} vs {:?}",
+            binary
+                .scorecards
+                .iter()
+                .map(|c| (c.family.clone(), c.mean_min_utility))
+                .collect::<Vec<_>>(),
+            modal
+                .scorecards
+                .iter()
+                .map(|c| (c.family.clone(), c.mean_min_utility))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -24,7 +24,7 @@ use phoenix_core::policies::ResiliencePolicy;
 use phoenix_core::spec::Workload;
 use phoenix_core::tags::Criticality;
 use phoenix_exec::Pool;
-use phoenix_kubesim::rto::evaluate_rto;
+use phoenix_kubesim::rto::{evaluate_rto, evaluate_utility};
 use phoenix_kubesim::run::simulate;
 use phoenix_kubesim::time::SimTime;
 use rand::rngs::StdRng;
@@ -194,6 +194,32 @@ pub struct HuntOutcome {
 /// on severity (higher wins). The `scenario_hunt` bin wires
 /// `phoenix_chaos::scenario_chaos::scenario_audit` in here.
 pub type SecondaryObjective<'a> = &'a (dyn Fn(&ScenarioDoc) -> u64 + Sync);
+
+/// A ready-made [`SecondaryObjective`]: how much served utility the
+/// scenario starves out of `workload` under `policy` — the
+/// baseline-minus-worst deficit of [`evaluate_utility`], in millionths
+/// of a utility unit so the hunt's integer tie-break stays exact. On modal workloads this steers severity ties toward scenarios
+/// that defeat degraded serving too, not just whole-pod availability.
+///
+/// Deliberately **not** wired in by default: the seed-pinned hunts (and
+/// the persisted regressions they produced) only use it when a caller
+/// passes it to [`run_hunt_with`] explicitly.
+pub fn utility_deficit_objective<'a>(
+    workload: &'a Workload,
+    policy: &'a dyn ResiliencePolicy,
+    cfg: &'a CampaignConfig,
+) -> impl Fn(&ScenarioDoc) -> u64 + Sync + 'a {
+    move |doc: &ScenarioDoc| {
+        let Ok(scenario) = doc.compile() else {
+            return 0;
+        };
+        let trace = simulate(workload, policy, &scenario, &cfg.sim, doc.horizon());
+        let disruption = doc.first_disruption().unwrap_or(SimTime::ZERO);
+        let u = evaluate_utility(&trace, disruption);
+        let deficit = (u.baseline - u.worst).max(0.0);
+        (deficit * 1_000_000.0).round() as u64
+    }
+}
 
 /// Runs the hunt on the [global pool](phoenix_exec::global)
 /// (`PHOENIX_THREADS`).
@@ -682,6 +708,30 @@ mod tests {
         assert_ne!(
             serde_json::to_string_pretty(&a).unwrap(),
             serde_json::to_string_pretty(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn utility_deficit_objective_scores_crunch_above_calm() {
+        use crate::campaign::demo_workload_modal;
+        let w = demo_workload_modal(3);
+        let policy = PhoenixPolicy::fair();
+        let cfg = CampaignConfig::default();
+        let objective = utility_deficit_objective(&w, &policy, &cfg);
+        let hunt = HuntConfig::smoke(42);
+        let docs = initial_population(&hunt, 3, 30);
+        // Deterministic: same doc, same score.
+        let scores: Vec<u64> = docs.iter().map(&objective).collect();
+        let again: Vec<u64> = docs.iter().map(&objective).collect();
+        assert_eq!(scores, again);
+        // A calm scenario (no events) starves nothing.
+        let mut calm = docs[0].clone();
+        calm.events.clear();
+        assert_eq!(objective(&calm), 0);
+        // At least one generator scenario drives utility below baseline.
+        assert!(
+            scores.iter().any(|&s| s > 0),
+            "no generator scenario produced a utility deficit: {scores:?}"
         );
     }
 
