@@ -111,24 +111,29 @@ fn sweep_trial(
 ) -> Vec<SchemeMetrics> {
     let mut cfg = env_cfg.clone();
     cfg.seed = env_cfg.seed.wrapping_add(trial as u64);
-    let env = build_env(&cfg);
+    let mut env = build_env(&cfg);
     let baseline_revenue = revenue(&env.workload, &env.baseline);
     let mut grid = Vec::with_capacity(sweep.failure_fracs.len() * policies.len());
 
+    // Snapshot the pristine baseline once; every failure level rewinds to
+    // it in O(mutations) instead of deep-cloning the whole state. The
+    // restore is bit-exact (same `used` bits, same iteration order), so
+    // the grid is byte-identical to the historical clone-per-level loop.
+    let pristine = env.baseline.snapshot();
     for (fi, &frac) in sweep.failure_fracs.iter().enumerate() {
-        let mut failed = env.baseline.clone();
+        env.baseline.restore_to(&pristine);
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(31).wrapping_add(fi as u64));
         match sweep.failure_model {
             FailureModel::Random => {
-                fail_fraction(&mut failed, frac, &mut rng);
+                fail_fraction(&mut env.baseline, frac, &mut rng);
             }
             FailureModel::Zoned { zones } => {
-                fail_zones(&mut failed, zones.max(1), frac, &mut rng);
+                fail_zones(&mut env.baseline, zones.max(1), frac, &mut rng);
             }
         }
 
         for policy in policies {
-            let plan = policy.plan(&env.workload, &failed);
+            let plan = policy.plan(&env.workload, &env.baseline);
             grid.push(evaluate(
                 &env.workload,
                 &plan.target,
@@ -296,13 +301,10 @@ fn peak_outage_state(
     let mut events: Vec<&phoenix_scenarios::model::EventDoc> = doc.events.iter().collect();
     events.sort_by_key(|e| e.at_ms);
 
-    let mut down = vec![false; n];
-    let mut factor = vec![1.0f64; n];
-    let mut best_loss = -1.0f64;
-    let mut best_at = 0u64;
-    let mut best_down = down.clone();
-    let mut best_factor = factor.clone();
-    for ev in &events {
+    // One outage-script step: applies `ev` to the per-node down/degrade
+    // vectors (shared by the forward scan and the best-prefix replay, so
+    // the two can never disagree).
+    let apply = |ev: &phoenix_scenarios::model::EventDoc, down: &mut [bool], factor: &mut [f64]| {
         let ids: Vec<u32> = match ev.kind.as_str() {
             "zone_outage" | "zone_restore" => zone_members(n, ev.zones, ev.zone),
             "rack_outage" | "rack_restore" => rack_members(n, ev.zones, ev.zone),
@@ -327,6 +329,18 @@ fn peak_outage_state(
             }
             _ => {}
         }
+    };
+
+    let mut down = vec![false; n];
+    let mut factor = vec![1.0f64; n];
+    let mut best_loss = -1.0f64;
+    let mut best_at = 0u64;
+    // Length of the event prefix producing the peak — tracking the index
+    // replaces the per-hit `down`/`factor` vector clones the scan used to
+    // make (the `>=` below fires on *every* equal-loss event).
+    let mut best_prefix = 0usize;
+    for (ei, ev) in events.iter().enumerate() {
+        apply(ev, &mut down, &mut factor);
         let loss: f64 = (0..n)
             .map(|i| {
                 let cap = node_cap(i).scalar();
@@ -347,9 +361,15 @@ fn peak_outage_state(
         if loss >= best_loss {
             best_loss = loss;
             best_at = ev.at_ms;
-            best_down = down.clone();
-            best_factor = factor.clone();
+            best_prefix = ei + 1;
         }
+    }
+    // Re-derive the peak's node state by replaying the winning prefix —
+    // the same `apply` steps, so bit-identical to the scan's view there.
+    let mut best_down = vec![false; n];
+    let mut best_factor = vec![1.0f64; n];
+    for ev in &events[..best_prefix] {
+        apply(ev, &mut best_down, &mut best_factor);
     }
 
     let mut failed = env.baseline.clone();

@@ -1,0 +1,106 @@
+//! Criterion bench: per-trial state rewind — full `ClusterState::clone`
+//! versus the journaled `snapshot()`/`restore_to()` pair — at 1k/10k/100k
+//! nodes with a fixed churn of Δ = 64 mutations per trial. This is the
+//! cost model behind the clone-free sweep/campaign/hunt fan-outs: clone
+//! is O(cluster), restore is O(Δ), so the gap widens linearly with
+//! cluster size while the churn stays constant.
+//!
+//! Correctness is asserted before timing: one churn + restore round must
+//! leave the state bit-identical to a pre-churn clone.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use phoenix_cluster::{ClusterState, NodeId, PodKey, Resources};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pods per node in the seeded base state.
+const PODS_PER_NODE: usize = 2;
+/// Mutations applied per simulated trial.
+const CHURN: usize = 64;
+
+fn base_state(nodes: usize, seed: u64) -> ClusterState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = ClusterState::homogeneous(nodes, Resources::cpu(64.0));
+    for i in 0..nodes * PODS_PER_NODE {
+        let node = NodeId::new((i % nodes) as u32);
+        let demand = Resources::cpu(rng.gen_range(0.5..4.0));
+        state
+            .assign(PodKey::new(0, i as u32, 0), demand, node)
+            .expect("base pods fit");
+    }
+    state
+}
+
+/// The fixed per-trial churn: node failures, degradations, and pod
+/// add/remove — the mutation mix a sweep trial or campaign cell applies.
+fn churn(state: &mut ClusterState, nodes: usize) {
+    for k in 0..CHURN {
+        let node = NodeId::new((k * 97 % nodes) as u32);
+        match k % 4 {
+            0 => {
+                state.fail_node(node);
+            }
+            1 => {
+                state.set_degrade(NodeId::new((k * 31 % nodes) as u32), 0.5);
+            }
+            2 => {
+                state
+                    .assign(
+                        PodKey::new(9, k as u32, 1),
+                        Resources::cpu(0.25),
+                        NodeId::new((k * 13 % nodes) as u32),
+                    )
+                    .ok();
+            }
+            _ => {
+                state.remove(PodKey::new(0, (k * 7 % nodes) as u32, 0)).ok();
+            }
+        }
+    }
+}
+
+fn bench_state_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_ops");
+    group.sample_size(10);
+    for &nodes in &[1_000usize, 10_000, 100_000] {
+        let mut state = base_state(nodes, 11);
+
+        // Correctness guard: one churn/restore round is bit-exact.
+        let reference = state.clone();
+        let snap = state.snapshot();
+        churn(&mut state, nodes);
+        state.restore_to(&snap);
+        assert!(
+            state.bitwise_eq(&reference),
+            "restore_to drifted at {nodes} nodes"
+        );
+
+        group.bench_with_input(BenchmarkId::new("clone", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut trial = reference.clone();
+                churn(&mut trial, nodes);
+                trial
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_restore", nodes),
+            &nodes,
+            |b, &nodes| {
+                let snap = state.snapshot();
+                b.iter(|| {
+                    churn(&mut state, nodes);
+                    state.restore_to(&snap);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_ops);
+// Expanded `criterion_main!` so the harness honours the standard
+// `--threads N` flag (and `PHOENIX_THREADS`) before any group runs.
+fn main() {
+    phoenix_bench::init_threads();
+    benches();
+}

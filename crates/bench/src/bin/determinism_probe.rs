@@ -5,7 +5,8 @@
 //! scripted adaptlab sweep), serving-mode planning over the modal demo
 //! workload with its utility-under-crunch campaign metrics, an
 //! adversarial hunt with shrinking and the persisted-regression replay,
-//! and a chaos audit — with all wall-clock fields stripped.
+//! a chaos audit, and a snapshot/restore + steady-replay check — with
+//! all wall-clock fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
 //! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
@@ -475,6 +476,106 @@ fn probe_hunt() {
     }
 }
 
+/// Snapshot/restore and steady-replay determinism: journaled-arena churn
+/// must rewind bit-exactly (same `used` bits, same iteration order), and
+/// a campaign cell replayed from a captured [`SteadyState`] must match
+/// the cold simulation byte for byte. Both are asserted in-process *and*
+/// printed, so the 1-vs-4-thread CI diff extends to the clone-free trial
+/// paths (`failure_sweep` restores, campaign/hunt steady replays).
+///
+/// [`SteadyState`]: phoenix_kubesim::run::SteadyState
+fn probe_snapshot() {
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+    use phoenix_kubesim::run::{simulate, simulate_from, SimConfig, SteadyState};
+    use phoenix_scenarios::campaign::demo_workload;
+    use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
+
+    // 1. Journal rewind under churn across every mutation class.
+    let mut state = ClusterState::homogeneous(12, Resources::cpu(8.0));
+    for i in 0..10u32 {
+        state
+            .assign(
+                phoenix_cluster::PodKey::new(i / 4, i % 4, 0),
+                Resources::cpu(1.0 + f64::from(i % 3)),
+                NodeId::new(i % 12),
+            )
+            .expect("probe pods fit");
+    }
+    state.set_degrade(NodeId::new(11), 0.5);
+    let reference = state.clone();
+    let snap = state.snapshot();
+    state.fail_node(NodeId::new(0));
+    state.set_degrade(NodeId::new(1), 0.25);
+    state
+        .assign(
+            phoenix_cluster::PodKey::new(9, 9, 9),
+            Resources::cpu(2.0),
+            NodeId::new(5),
+        )
+        .expect("churn pod fits");
+    state.remove(phoenix_cluster::PodKey::new(1, 1, 0)).ok();
+    state.restore_node(NodeId::new(0));
+    state.restore_to(&snap);
+    assert!(
+        state.bitwise_eq(&reference),
+        "restore_to drifted from the pre-churn state"
+    );
+    // Print assignments in iteration order — this pins the restored
+    // intern order itself into the diffed output.
+    for (pod, node, demand) in state.assignments() {
+        println!(
+            "snapshot churn pod {pod} -> node {} demand={}",
+            node.index(),
+            demand.scalar().to_bits()
+        );
+    }
+
+    // 2. Steady-state replay vs cold simulation, per (scenario, policy).
+    let suite = generate_suite(&GeneratorConfig {
+        nodes: 8,
+        node_cpu: 4.0,
+        scenarios_per_family: 1,
+        apps: 3,
+        seed: 7,
+    });
+    let w = demo_workload(3);
+    let policies: Vec<Box<dyn ResiliencePolicy>> =
+        vec![Box::new(PhoenixPolicy::fair()), Box::new(DefaultPolicy)];
+    let sim = SimConfig::default();
+    for doc in &suite.scenarios {
+        let scenario = doc.compile().expect("generated doc compiles");
+        for p in &policies {
+            let steady = SteadyState::compute(&w, p.as_ref(), &scenario.node_capacities);
+            let cold = simulate(&w, p.as_ref(), &scenario, &sim, doc.horizon());
+            let warm = simulate_from(
+                &w,
+                p.as_ref(),
+                &scenario,
+                &sim,
+                doc.horizon(),
+                Some(&steady),
+            );
+            assert_eq!(
+                cold.samples,
+                warm.samples,
+                "steady replay diverged from cold simulate: {} under {}",
+                doc.name,
+                p.name()
+            );
+            assert_eq!(cold.milestones, warm.milestones);
+            let final_u = warm.samples.last().map_or(0, |s| s.utility.to_bits());
+            println!(
+                "snapshot campaign {} {} samples={} milestones={} plans={} final_u={final_u}",
+                doc.name,
+                p.name(),
+                warm.samples.len(),
+                warm.milestones.len(),
+                warm.plans.len(),
+            );
+        }
+    }
+}
+
 /// Chaos tag audits for both reference applications.
 fn probe_audit() {
     for model in [
@@ -514,4 +615,7 @@ fn main() {
     probe_modes();
     probe_hunt();
     probe_audit();
+    // Keep this section last: older golden outputs (without it) stay a
+    // strict byte-prefix of the new output.
+    probe_snapshot();
 }

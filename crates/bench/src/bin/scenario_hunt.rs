@@ -38,13 +38,13 @@ use phoenix_apps::overleaf::{overleaf, OverleafVariant};
 use phoenix_bench::{arg, flag, init_threads, Table};
 use phoenix_chaos::scenario_chaos::scenario_audit;
 use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
-use phoenix_kubesim::run::SimConfig;
+use phoenix_kubesim::run::{SimConfig, SteadyState};
 use phoenix_scenarios::campaign::{demo_workload, demo_workload_modal, CampaignConfig};
 use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
 use phoenix_scenarios::model::{ScenarioDoc, SuiteDoc};
 use phoenix_scenarios::regression::{encode, regressions_dir, RegressionDoc};
 use phoenix_scenarios::search::{
-    run_hunt_with, signature_of, utility_deficit_objective, HuntConfig,
+    run_hunt_with, signature_of_with, utility_deficit_objective, HuntConfig,
 };
 use phoenix_scenarios::shrink::shrink;
 
@@ -136,6 +136,40 @@ fn main() {
         &secondary
     };
 
+    // The fixed-seed generator suite for pass 1 — generated up front so
+    // the steady-state captures below can borrow its cluster shape.
+    let suite = generate_suite(&GeneratorConfig {
+        nodes: hunt.nodes,
+        node_cpu: hunt.node_cpu,
+        scenarios_per_family: if full { 8 } else { 5 },
+        apps: hunt.apps,
+        seed,
+    });
+
+    // Every scenario this bin evaluates — the baseline suite, shrink
+    // candidates, hunt champions — shares the hunt's cluster shape, so
+    // capture each policy's t = 0 steady state once and replay it through
+    // every oracle evaluation. Shrunk docs that drop trailing nodes fall
+    // back to a cold plan via the simulator's shape check.
+    let steady: Vec<SteadyState> = {
+        let caps = suite
+            .scenarios
+            .first()
+            .and_then(|s| s.compile().ok())
+            .map(|sc| sc.node_capacities)
+            .unwrap_or_default();
+        policies
+            .iter()
+            .map(|p| SteadyState::compute(&workload, p.as_ref(), &caps))
+            .collect()
+    };
+    let steady_of = |policy: &dyn ResiliencePolicy| {
+        policies
+            .iter()
+            .position(|p| p.name() == policy.name())
+            .map(|i| &steady[i])
+    };
+
     let mut repros: Vec<RegressionDoc> = Vec::new();
     let mut shrink_table = Table::new([
         "repro",
@@ -146,14 +180,15 @@ fn main() {
         "oracle_evals",
     ]);
     let mut capture = |doc: &ScenarioDoc, policy: &dyn ResiliencePolicy, origin: String| {
+        let steady = steady_of(policy);
         let mut oracle = |d: &ScenarioDoc| {
-            signature_of(&workload, d, policy, &cfg)
+            signature_of_with(&workload, d, policy, &cfg, steady)
                 .map(|s| s.severity_ms > 0)
                 .unwrap_or(false)
         };
         let (small, report) = shrink(doc, &mut oracle);
-        let signature =
-            signature_of(&workload, &small, policy, &cfg).expect("shrunk doc validates");
+        let signature = signature_of_with(&workload, &small, policy, &cfg, steady)
+            .expect("shrunk doc validates");
         assert!(signature.severity_ms > 0, "shrinker lost the violation");
         shrink_table.row([
             small.name.clone(),
@@ -176,17 +211,11 @@ fn main() {
 
     // Pass 1: baseline sweep — worst violating scenario per
     // (family, policy) cell of the fixed-seed generator suite.
-    let suite = generate_suite(&GeneratorConfig {
-        nodes: hunt.nodes,
-        node_cpu: hunt.node_cpu,
-        scenarios_per_family: if full { 8 } else { 5 },
-        apps: hunt.apps,
-        seed,
-    });
     let mut worst: BTreeMap<(String, String), (u64, usize)> = BTreeMap::new();
     for (si, s) in suite.scenarios.iter().enumerate() {
-        for p in &policies {
-            let sig = signature_of(&workload, s, p.as_ref(), &cfg).expect("suite validates");
+        for (pi, p) in policies.iter().enumerate() {
+            let sig = signature_of_with(&workload, s, p.as_ref(), &cfg, Some(&steady[pi]))
+                .expect("suite validates");
             if sig.severity_ms == 0 {
                 continue;
             }

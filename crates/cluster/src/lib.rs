@@ -52,4 +52,4 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use resources::Resources;
 pub use shard::{SeqShardRunner, ShardLayout, ShardProposals, ShardRunner};
 pub use sorted::{OrderedF64, SortedNodes};
-pub use state::{ClusterState, NodeId, PodKey};
+pub use state::{ClusterState, NodeId, PodKey, Snapshot};

@@ -90,8 +90,10 @@ pub struct PackingConfig {
     pub max_pods_per_node: Option<usize>,
     /// Number of contiguous node shards the sharded drivers
     /// ([`pack_sharded`] / [`pack_prepared_sharded`]) fan the step-1 fit
-    /// scans over; `0` or `1` keeps packing strictly sequential. Output
-    /// is byte-identical either way — this knob only moves wall-clock.
+    /// scans over; `0` or `1` keeps packing strictly sequential, and
+    /// [`AUTO_SHARDS`](Self::AUTO_SHARDS) defers the choice to
+    /// [`resolve_shards`](Self::resolve_shards) at plan time. Output is
+    /// byte-identical either way — this knob only moves wall-clock.
     pub shards: usize,
     /// Plan pods per speculation chunk on the sharded path (`0` derives
     /// a chunk from plan length and shard count). Any value produces
@@ -118,6 +120,37 @@ impl Default for PackingConfig {
             shards: 0,
             shard_chunk: 0,
             rebook_in_place: false,
+        }
+    }
+}
+
+impl PackingConfig {
+    /// Sentinel for [`shards`](Self::shards): pick the shard count at plan
+    /// time from the cluster size and pool width instead of hard-coding it.
+    pub const AUTO_SHARDS: usize = usize::MAX;
+
+    /// Smallest cluster auto-sharding considers worth the freeze/propose/
+    /// merge overhead. On small clusters sharding *costs* wall-clock
+    /// (0.88–0.93× in `BENCH_planner.json`); the fit scans only amortize
+    /// the coordination once they walk thousands of nodes.
+    pub const AUTO_SHARDS_MIN_NODES: usize = 4096;
+
+    /// Resolves [`shards`](Self::shards) against a concrete cluster and
+    /// pool width. Explicit shard counts (anything but
+    /// [`AUTO_SHARDS`](Self::AUTO_SHARDS)) pass through untouched.
+    /// `AUTO_SHARDS` picks `threads` shards when
+    /// `nodes >= AUTO_SHARDS_MIN_NODES && threads > 1`, and `0`
+    /// (sequential) otherwise. The choice is output-safe either way:
+    /// sharded packing is byte-identical to sequential by the
+    /// ordered-merge contract, so auto-tuning only moves wall-clock.
+    pub fn resolve_shards(&self, nodes: usize, threads: usize) -> usize {
+        if self.shards != Self::AUTO_SHARDS {
+            return self.shards;
+        }
+        if nodes >= Self::AUTO_SHARDS_MIN_NODES && threads > 1 {
+            threads
+        } else {
+            0
         }
     }
 }
@@ -230,7 +263,14 @@ pub fn pack_prepared_sharded(
     rank_of: impl Fn(PodKey) -> Option<usize>,
     runner: &dyn ShardRunner,
 ) -> PackOutcome {
-    let shards = cfg.shards.min(state.node_count());
+    // An unresolved AUTO_SHARDS sentinel (callers normally resolve it at
+    // plan level, where the pool width is known) falls back to sequential
+    // rather than exploding into one shard per node.
+    let shards = if cfg.shards == PackingConfig::AUTO_SHARDS {
+        0
+    } else {
+        cfg.shards.min(state.node_count())
+    };
     if shards <= 1 {
         return pack_prepared(state, plan, cfg, rank_of);
     }

@@ -266,7 +266,11 @@ pub fn plan_with_pool(
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
     let (plan, modes) = flatten_plan(workload, &rank.items);
-    let pack_cfg = effective_packing(workload, &config.packing);
+    let mut pack_cfg = effective_packing(workload, &config.packing);
+    pack_cfg.shards = pack_cfg.resolve_shards(state.node_count(), pool.threads());
+    // One scratch clone per planning round: `PlanResult::target` must own
+    // the packed state while `state` stays untouched — this is the API
+    // contract, not per-trial fan-out overhead.
     let mut target = state.clone();
     let packing = if pack_cfg.shards > 1 {
         pack_sharded(&mut target, &plan, &pack_cfg, &PoolShardRunner(pool))

@@ -422,7 +422,8 @@ pub fn replan_with_pool(
 
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
-    let pack_cfg = effective_packing(workload, &config.packing);
+    let mut pack_cfg = effective_packing(workload, &config.packing);
+    pack_cfg.shards = pack_cfg.resolve_shards(state.node_count(), pool.threads());
     let mut target = state.clone();
     let (packing, modes) = if modal {
         let (plan, modes) = flatten_plan(workload, &rank.items);

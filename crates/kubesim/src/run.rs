@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use phoenix_cluster::{ClusterState, NodeId, PodKey};
+use phoenix_cluster::{ClusterState, NodeId, PodKey, Resources};
 use phoenix_core::actions::{diff_states, mode_shift_actions, Action};
 use phoenix_core::policies::ResiliencePolicy;
 use phoenix_core::spec::{AppId, ServingMode, Workload};
@@ -253,6 +253,59 @@ fn start_kubelets(nodes: &[NodeId], alive: &mut [bool]) -> bool {
     any
 }
 
+/// The captured `t = 0` steady state of one `(workload, policy, cluster
+/// shape)` triple: the policy's cold plan over the healthy cluster,
+/// recorded as an ordered assignment list.
+///
+/// That plan is a pure function of its three inputs and is *not* part of
+/// the trace ([`SimTrace::plans`] starts at the first in-run replan), so
+/// trial fan-outs — campaign cells, hunt candidates, shrink probes — can
+/// compute it **once** per `(policy, shape)` and hand it to
+/// [`simulate_from`], which replays the list in captured order instead of
+/// re-planning the identical cold start per trial. Replay is byte-exact:
+/// assignments land in the same order the plan's own iteration produced,
+/// so downstream pod-list order (and everything keyed on it) matches a
+/// cold [`simulate`] bit for bit.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    /// The per-node capacities the plan was computed for.
+    capacities: Vec<Resources>,
+    /// `(pod, node, demand, mode)` in the plan's own assignment order.
+    assigns: Vec<(PodKey, NodeId, Resources, ServingMode)>,
+}
+
+impl SteadyState {
+    /// Plans `workload` under `policy` on a fresh healthy cluster with
+    /// `capacities` and captures the resulting steady state.
+    pub fn compute(
+        workload: &Workload,
+        policy: &dyn ResiliencePolicy,
+        capacities: &[Resources],
+    ) -> SteadyState {
+        let state = ClusterState::new(capacities.iter().copied());
+        let initial = policy.plan(workload, &state);
+        let assigns = initial
+            .target
+            .assignments()
+            .map(|(pod, node, demand)| (pod, node, demand, initial.modes.mode_of_pod(pod)))
+            .collect();
+        SteadyState {
+            capacities: capacities.to_vec(),
+            assigns,
+        }
+    }
+
+    /// True when this steady state was computed for exactly `capacities`
+    /// (bit-compared — a shape mismatch means the capture must not be
+    /// replayed).
+    fn matches(&self, capacities: &[Resources]) -> bool {
+        self.capacities.len() == capacities.len()
+            && self.capacities.iter().zip(capacities).all(|(a, b)| {
+                a.cpu.to_bits() == b.cpu.to_bits() && a.mem.to_bits() == b.mem.to_bits()
+            })
+    }
+}
+
 /// Runs `scenario` under `policy` until `horizon`.
 ///
 /// The initial state is the policy's own plan over the full cluster,
@@ -268,6 +321,26 @@ pub fn simulate(
     scenario: &Scenario,
     config: &SimConfig,
     horizon: SimTime,
+) -> SimTrace {
+    simulate_from(workload, policy, scenario, config, horizon, None)
+}
+
+/// [`simulate`] with an optional precomputed [`SteadyState`].
+///
+/// When `steady` is present, was computed for this `workload` and
+/// `policy`, and its cluster shape matches `scenario`'s, the `t = 0` plan
+/// is replayed from the capture instead of recomputed — byte-identical
+/// output, minus one cold plan per call. A shape mismatch (e.g. a shrink
+/// probe that dropped trailing nodes) silently falls back to planning
+/// cold; a capture from a *different* workload or policy is the caller's
+/// bug and silently corrupts the run, so thread those pairs carefully.
+pub fn simulate_from(
+    workload: &Workload,
+    policy: &dyn ResiliencePolicy,
+    scenario: &Scenario,
+    config: &SimConfig,
+    horizon: SimTime,
+    steady: Option<&SteadyState>,
 ) -> SimTrace {
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Flap jitter comes out of its own stream so flapping scenarios do
@@ -295,12 +368,26 @@ pub fn simulate(
     // Copy-on-surge workload: `None` means the original is still current.
     let mut surged: Option<Workload> = None;
 
-    // Steady state at t = 0.
-    let initial = policy.plan(workload, &state);
-    for (pod, node, demand) in initial.target.assignments() {
-        state.assign(pod, demand, node).expect("initial plan fits");
-        phase.insert(pod, Phase::Running);
-        pod_mode.insert(pod, initial.modes.mode_of_pod(pod));
+    // Steady state at t = 0: replay the capture when its shape matches,
+    // else plan cold — identical output either way, because the cold plan
+    // is a pure function of (workload, policy, capacities) and the capture
+    // preserves its assignment order.
+    match steady.filter(|s| s.matches(&scenario.node_capacities)) {
+        Some(s) => {
+            for &(pod, node, demand, mode) in &s.assigns {
+                state.assign(pod, demand, node).expect("steady plan fits");
+                phase.insert(pod, Phase::Running);
+                pod_mode.insert(pod, mode);
+            }
+        }
+        None => {
+            let initial = policy.plan(workload, &state);
+            for (pod, node, demand) in initial.target.assignments() {
+                state.assign(pod, demand, node).expect("initial plan fits");
+                phase.insert(pod, Phase::Running);
+                pod_mode.insert(pod, initial.modes.mode_of_pod(pod));
+            }
+        }
     }
 
     for ev in &scenario.events {

@@ -5,7 +5,7 @@ use phoenix_cluster::Resources;
 use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
 use phoenix_core::spec::{AppSpecBuilder, Workload};
 use phoenix_core::tags::Criticality;
-use phoenix_kubesim::run::{simulate, SimConfig};
+use phoenix_kubesim::run::{simulate, simulate_from, SimConfig, SteadyState};
 use phoenix_kubesim::scenario::Scenario;
 use phoenix_kubesim::time::SimTime;
 use proptest::prelude::*;
@@ -115,5 +115,54 @@ proptest! {
                 "detected {latency}s after failure, past grace {grace_secs}s + tick {monitor_secs}s"
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The steady-state replay used by the clone-free campaign/hunt
+    /// fan-outs is byte-equivalent to a cold simulation: same samples
+    /// (serving sets, utility bits — so the mode ledger too), same
+    /// milestones. A steady state captured on a *different* cluster
+    /// shape must fall back to the cold plan and still agree.
+    #[test]
+    fn steady_replay_matches_cold_simulate(
+        services in 2usize..8,
+        nodes in 2u32..8,
+        fail_at in 60u64..300,
+        degrade in proptest::bool::ANY,
+        phoenix in proptest::bool::ANY,
+    ) {
+        let w = workload(services);
+        let mut s = Scenario::new(nodes as usize, Resources::cpu(4.0));
+        s.kubelet_stop_at(SimTime::from_secs(fail_at), vec![0]);
+        if degrade {
+            s.capacity_degrade_at(SimTime::from_secs(fail_at + 120), vec![1], 0.5);
+        }
+        let policy: Box<dyn ResiliencePolicy> = if phoenix {
+            Box::new(PhoenixPolicy::fair())
+        } else {
+            Box::new(DefaultPolicy)
+        };
+        let cfg = SimConfig::default();
+        let horizon = SimTime::from_secs(fail_at + 900);
+
+        let cold = simulate(&w, policy.as_ref(), &s, &cfg, horizon);
+        let steady = SteadyState::compute(&w, policy.as_ref(), &s.node_capacities);
+        let warm = simulate_from(&w, policy.as_ref(), &s, &cfg, horizon, Some(&steady));
+        prop_assert_eq!(&cold.samples, &warm.samples);
+        prop_assert_eq!(&cold.milestones, &warm.milestones);
+        prop_assert_eq!(cold.plans.len(), warm.plans.len());
+
+        // Shape mismatch → cold fallback, still byte-identical.
+        let other = SteadyState::compute(
+            &w,
+            policy.as_ref(),
+            &vec![Resources::cpu(8.0); nodes as usize + 1],
+        );
+        let fallback = simulate_from(&w, policy.as_ref(), &s, &cfg, horizon, Some(&other));
+        prop_assert_eq!(&cold.samples, &fallback.samples);
+        prop_assert_eq!(&cold.milestones, &fallback.milestones);
     }
 }

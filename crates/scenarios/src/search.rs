@@ -25,7 +25,7 @@ use phoenix_core::spec::Workload;
 use phoenix_core::tags::Criticality;
 use phoenix_exec::Pool;
 use phoenix_kubesim::rto::{evaluate_rto, evaluate_utility};
-use phoenix_kubesim::run::simulate;
+use phoenix_kubesim::run::{simulate, simulate_from, SteadyState};
 use phoenix_kubesim::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,8 +136,28 @@ pub fn signature_of(
     policy: &dyn ResiliencePolicy,
     cfg: &CampaignConfig,
 ) -> Result<ViolationSignature, ScenarioError> {
+    signature_of_with(workload, doc, policy, cfg, None)
+}
+
+/// [`signature_of`] with an optional precomputed [`SteadyState`] for the
+/// `(workload, policy, doc shape)` triple — hunts and shrink oracles
+/// evaluate thousands of same-shape candidates, so replaying one captured
+/// `t = 0` plan instead of re-planning it per evaluation is the fan-out
+/// hot path. Byte-identical to [`signature_of`] (the simulator falls back
+/// to a cold plan on any shape mismatch).
+///
+/// # Errors
+///
+/// As [`signature_of`].
+pub fn signature_of_with(
+    workload: &Workload,
+    doc: &ScenarioDoc,
+    policy: &dyn ResiliencePolicy,
+    cfg: &CampaignConfig,
+    steady: Option<&SteadyState>,
+) -> Result<ViolationSignature, ScenarioError> {
     let scenario = doc.compile()?;
-    let trace = simulate(workload, policy, &scenario, &cfg.sim, doc.horizon());
+    let trace = simulate_from(workload, policy, &scenario, &cfg.sim, doc.horizon(), steady);
     let disruption = doc.first_disruption().unwrap_or(SimTime::ZERO);
     let report = evaluate_rto(&trace, workload, &cfg.rto, disruption);
     Ok(ViolationSignature {
@@ -257,6 +277,25 @@ pub fn run_hunt_with(
     let mut champions: Vec<Option<Champion>> = vec![None; policies.len()];
     let mut evaluations = 0u32;
 
+    // The whole hunt runs on one cluster shape (mutations never touch
+    // `nodes`/`node_cpu`; crossover keeps the first parent's shape), so
+    // capture each policy's t = 0 steady state once up front. Every
+    // evaluation then replays the capture instead of re-planning the same
+    // cold start; the simulator's shape check backstops exotic candidates.
+    let steady: Vec<Option<SteadyState>> = match population.first().and_then(|d| d.compile().ok()) {
+        Some(scenario) => policies
+            .iter()
+            .map(|p| {
+                Some(SteadyState::compute(
+                    workload,
+                    p.as_ref(),
+                    &scenario.node_capacities,
+                ))
+            })
+            .collect(),
+        None => policies.iter().map(|_| None).collect(),
+    };
+
     for round in 0..=hunt.rounds {
         // Evaluate every (candidate, policy) pair on the pool; results
         // come back strictly in job order.
@@ -264,8 +303,14 @@ pub fn run_hunt_with(
             .flat_map(|ci| (0..policies.len()).map(move |pi| (ci, pi)))
             .collect();
         let sigs = pool.par_map(&jobs, |&(ci, pi)| {
-            signature_of(workload, &population[ci], policies[pi].as_ref(), eval)
-                .expect("hunt candidates always validate")
+            signature_of_with(
+                workload,
+                &population[ci],
+                policies[pi].as_ref(),
+                eval,
+                steady[pi].as_ref(),
+            )
+            .expect("hunt candidates always validate")
         });
         evaluations += sigs.len() as u32;
 
