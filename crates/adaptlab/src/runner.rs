@@ -160,6 +160,7 @@ pub fn failure_sweep_on(
     let cells = sweep.failure_fracs.len() * policies.len();
     let trials = sweep.effective_trials();
     let grids = pool.par_map_range_chunked(trials, 1, |trial| {
+        phoenix_obs::global().incr(phoenix_obs::Counter::SweepTrials);
         sweep_trial(env_cfg, sweep, policies, trial)
     });
 

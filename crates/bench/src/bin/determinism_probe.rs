@@ -5,8 +5,9 @@
 //! scripted adaptlab sweep), serving-mode planning over the modal demo
 //! workload with its utility-under-crunch campaign metrics, an
 //! adversarial hunt with shrinking and the persisted-regression replay,
-//! a chaos audit, and a snapshot/restore + steady-replay check — with
-//! all wall-clock fields stripped.
+//! a chaos audit, a snapshot/restore + steady-replay check, and the
+//! deterministic-plane observability counters — with all wall-clock
+//! fields stripped.
 //!
 //! The CI determinism job runs this binary twice (`PHOENIX_THREADS=1`
 //! and `PHOENIX_THREADS=4`) and diffs the outputs byte-for-byte; any
@@ -576,6 +577,92 @@ fn probe_snapshot() {
     }
 }
 
+/// Deterministic-plane observability counters: run a fixed churn-replan
+/// loop plus a small fixed-seed campaign under an *enabled*
+/// [`Recorder`](phoenix_obs::Recorder) and print every counter in
+/// [`Counter::ALL`](phoenix_obs::Counter::ALL) order. The counters are
+/// commutative sums and `max` gauges over work the planner does, never
+/// over how the pool chunked it, so the printed block must be
+/// byte-identical at `PHOENIX_THREADS=1` and `4` — this section is what
+/// pins that contract in CI. Wall-clock histograms and spans are the
+/// recorder's other plane and are deliberately absent here.
+fn probe_obs() {
+    use phoenix_core::policies::{DefaultPolicy, PhoenixPolicy, ResiliencePolicy};
+    use phoenix_scenarios::campaign::{demo_workload_modal, run_campaign, CampaignConfig};
+    use phoenix_scenarios::generate::{generate_suite, GeneratorConfig};
+
+    let recorder = phoenix_obs::Recorder::enabled();
+    let _installed = phoenix_obs::install_scoped(recorder.clone());
+
+    // Planner-side counters: cold plan + warm replans across both replan
+    // delta classes (cache hits/misses, rank replays, waterfill, packing,
+    // snapshot journal churn).
+    let mut controller = PhoenixController::new(
+        churn_workload(),
+        PhoenixConfig::with_objective(ObjectiveKind::Fairness),
+    );
+    let mut live = ClusterState::homogeneous(8, Resources::cpu(4.0));
+    for round in 0..4 {
+        let delta = if round % 2 == 0 {
+            ReplanDelta::Full
+        } else {
+            ReplanDelta::CapacityOnly
+        };
+        let result = controller.replan(&live, delta);
+        live = result.target.clone();
+        if round == 1 {
+            live.fail_node(NodeId::new(round));
+        }
+    }
+
+    // Simulator/campaign counters: events, milestones, mode shifts,
+    // per-cell fan-out. Default config ⇒ sequential packing (`shards: 0`),
+    // so no pool-shape-derived quantity ever reaches a counter.
+    let suite = generate_suite(&GeneratorConfig {
+        nodes: 8,
+        node_cpu: 4.0,
+        scenarios_per_family: 1,
+        apps: 2,
+        seed: 11,
+    });
+    let policies: Vec<Box<dyn ResiliencePolicy>> =
+        vec![Box::new(PhoenixPolicy::fair()), Box::new(DefaultPolicy)];
+    run_campaign(
+        &demo_workload_modal(2),
+        &suite,
+        &policies,
+        &CampaignConfig::default(),
+    )
+    .expect("generated suite is valid");
+
+    // Sweep counters: per-trial fan-out plus the journaled
+    // snapshot/restore churn its clone-free trials ride on.
+    let env = EnvConfig {
+        nodes: 12,
+        node_capacity: 64.0,
+        target_utilization: 0.7,
+        resource_model: ResourceModel::CallsPerMinute,
+        tagging: TaggingScheme::ServiceLevel { percentile: 0.9 },
+        alibaba: AlibabaConfig {
+            apps: 3,
+            max_services: 20,
+            max_requests: 10_000.0,
+            ..AlibabaConfig::default()
+        },
+        seed: 5,
+    };
+    let sweep = SweepConfig {
+        failure_fracs: vec![0.5],
+        trials: 2,
+        ..SweepConfig::default()
+    };
+    std::hint::black_box(failure_sweep(&env, &sweep, &standard_roster()).len());
+
+    for (name, value) in recorder.counters() {
+        println!("obs {name}={value}");
+    }
+}
+
 /// Chaos tag audits for both reference applications.
 fn probe_audit() {
     for model in [
@@ -615,7 +702,8 @@ fn main() {
     probe_modes();
     probe_hunt();
     probe_audit();
-    // Keep this section last: older golden outputs (without it) stay a
-    // strict byte-prefix of the new output.
+    // Sections are append-only: older golden outputs stay a strict
+    // byte-prefix of the new output.
     probe_snapshot();
+    probe_obs();
 }

@@ -20,10 +20,13 @@
 //! byte-identical to the sequential ones. The sharded-packing columns
 //! (`cold_shard_ms` / `cold_shard_speedup`, cold plan with
 //! `PackingConfig::shards = 8` on the pool, action plans asserted equal
-//! to the sequential cold first) are additive to schema v2. `--threads
-//! N` (or `PHOENIX_THREADS`) sets the pool size; v1 fields are
-//! unchanged. `host_cpus` records the machine truthfully — on a 1-CPU
-//! container every parallel speedup is ~1×.
+//! to the sequential cold first) are additive to schema v2. Schema v4
+//! is again additive: the hand-appended `scenario_matrix` block's rows
+//! carry the wall-clock `replan_ms_p99` scorecard column from
+//! `phoenix-obs` (sub-millisecond planner rounds at smoke scale record
+//! as 0). `--threads N` (or `PHOENIX_THREADS`) sets the pool size; v1
+//! fields are unchanged. `host_cpus` records the machine truthfully —
+//! on a 1-CPU container every parallel speedup is ~1×.
 
 use std::time::{Duration, Instant};
 
@@ -171,7 +174,7 @@ fn measure_sweep(nodes: usize, trials: u32, seed: u64) -> SweepRow {
 fn write_json(path: &str, scale: &str, threads: usize, rows: &[ReplanRow], sweeps: &[SweepRow]) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"planner_replan\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!(

@@ -69,6 +69,7 @@ fn main() {
         "min_util",
         "final_util",
         "worst_c1_recovery",
+        "replan_p99",
     ]);
     for c in &outcome.scorecards {
         table.row([
@@ -83,6 +84,10 @@ fn main() {
             f3(c.mean_final_utility),
             c.worst_c1_recovery_ms
                 .map_or("-".to_string(), |ms| format!("{:.1}s", ms as f64 / 1000.0)),
+            // Wall-clock plane (planner-latency SLO): varies run to run,
+            // unlike every other column in this table.
+            c.replan_ms_p99
+                .map_or("-".to_string(), |ms| format!("{ms}ms")),
         ]);
     }
     table.print("Scenario matrix scorecards");

@@ -37,6 +37,8 @@
 
 use std::collections::BTreeSet;
 
+use phoenix_obs::{Counter, Phase, Recorder};
+
 use crate::shard::{ShardLayout, ShardProposals, ShardRunner};
 use crate::{ClusterState, FxHashMap, NodeId, OrderedF64, PodKey, Resources, SortedNodes};
 
@@ -214,7 +216,10 @@ pub fn pack_prepared(
     let mut out = PackOutcome::default();
     drop_unplanned(state, &rank_of, &mut out);
     let mut book = NodeBook::new(state, None);
-    let mut ctx = PackCtx::default();
+    let mut ctx = PackCtx {
+        obs: phoenix_obs::global(),
+        ..PackCtx::default()
+    };
     place_range(
         state,
         plan,
@@ -282,7 +287,10 @@ pub fn pack_prepared_sharded(
     drop_unplanned(state, &rank_of, &mut out);
     let layout = ShardLayout::new(state.node_count(), shards);
     let mut book = NodeBook::new(state, Some(layout));
-    let mut ctx = PackCtx::default();
+    let mut ctx = PackCtx {
+        obs: phoenix_obs::global(),
+        ..PackCtx::default()
+    };
     let chunk = if cfg.shard_chunk > 0 {
         cfg.shard_chunk
     } else {
@@ -315,6 +323,7 @@ pub fn pack_prepared_sharded(
             // empty proposal vectors. This is the common warm-replan
             // case — whole chunks of the plan already converged — so
             // skip the dispatch entirely.
+            ctx.obs.incr(Counter::PackConvergentSkips);
             start = end;
             continue;
         }
@@ -335,9 +344,15 @@ pub fn pack_prepared_sharded(
                     .collect()
             })
         };
+        ctx.obs
+            .add(Counter::PackShardProposals, (pending.len() * shards) as u64);
         book.clear_dirty();
         // Ordered merge: walk the chunk in rank order, combining frozen
         // proposals from still-clean shards and replaying dirty ones.
+        // (The guard borrows a clone of the handle so `ctx` stays free
+        // for the merge to borrow mutably.)
+        let merge_obs = ctx.obs.clone();
+        let _merge_timer = merge_obs.phase(Phase::Merge);
         let aborted = place_range(
             state,
             plan,
@@ -356,6 +371,7 @@ pub fn pack_prepared_sharded(
                     pend_of[rank - start],
                     &proposals,
                     &mut scratch,
+                    &merge_obs,
                 )
             },
         );
@@ -447,6 +463,10 @@ impl NodeBook {
 /// Cross-pod bookkeeping shared by the sequential and sharded drivers.
 #[derive(Default)]
 struct PackCtx {
+    /// Observability handle, grabbed once per pack (the default is the
+    /// disabled recorder). Counters recorded here are per-*event* in the
+    /// sequential merge order, so they are identical for every runner.
+    obs: Recorder,
     /// Active planned pods, ordered by rank (for the deletion fallback).
     /// Built lazily on the first fallback: rounds with enough capacity —
     /// the common case, and every warm replan after a small failure —
@@ -504,7 +524,12 @@ fn place_range(
         }
         let mut target = in_place.or_else(|| fit(state, book, rank, planned.demand));
         if target.is_none() && cfg.enable_migration {
+            let migrations_before = out.migrations.len();
             target = repack_to_fit(state, book, planned.demand, cfg, out);
+            ctx.obs.add(
+                Counter::PackRepackMigrations,
+                (out.migrations.len() - migrations_before) as u64,
+            );
         }
         while target.is_none() {
             let active = ctx.active.get_or_insert_with(|| {
@@ -523,6 +548,7 @@ fn place_range(
             active.remove(&(victim_rank, victim));
             let (node, _) = state.remove(victim).expect("victim is assigned");
             book.update(node, state.remaining(node).scalar());
+            ctx.obs.incr(Counter::PackVictimDeletes);
             // The victim may have been started earlier in this very pack; a
             // start followed by a delete collapses to "never started".
             if let Some(pos) = out.starts.iter().position(|&(p, _)| p == victim) {
@@ -539,6 +565,7 @@ fn place_range(
                     .assign(planned.key, planned.demand, node)
                     .expect("fit was just verified");
                 book.update(node, state.remaining(node).scalar());
+                ctx.obs.incr(Counter::PackPlacements);
                 if let Some(active) = ctx.active.as_mut() {
                     active.insert((rank, planned.key));
                 }
@@ -589,11 +616,20 @@ fn merged_fit(
     frozen_row: Option<usize>,
     proposals: &[ShardProposals],
     scratch: &mut Vec<(OrderedF64, NodeId)>,
+    obs: &Recorder,
 ) -> Option<NodeId> {
     let mirror = book.shards.as_ref().expect("sharded book");
+    // Reuse/replay counts are per consulted shard in the sequential
+    // merge order — runner-independent, so deterministic-plane safe.
     let shard_candidate = |s: usize| match frozen_row {
-        Some(row) if !mirror.dirty[s] => proposals[s][row],
-        _ => try_fit(state, &mirror.sorted[s], demand, cfg),
+        Some(row) if !mirror.dirty[s] => {
+            obs.incr(Counter::PackFrozenReuses);
+            proposals[s][row]
+        }
+        _ => {
+            obs.incr(Counter::PackDirtyReplays);
+            try_fit(state, &mirror.sorted[s], demand, cfg)
+        }
     };
     if cfg.fit == FitStrategy::FirstFit {
         // Shards are contiguous ascending id ranges, so the first shard

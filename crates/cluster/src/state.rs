@@ -608,6 +608,9 @@ impl ClusterState {
     /// rewind in O(mutations-since-snapshot).
     pub fn snapshot(&mut self) -> Snapshot {
         let journal = self.journal.get_or_insert_with(Vec::new);
+        let obs = phoenix_obs::global();
+        obs.incr(phoenix_obs::Counter::StateSnapshots);
+        obs.gauge_max(phoenix_obs::Counter::JournalDepthMax, journal.len() as u64);
         Snapshot {
             entries: journal.len(),
             interned: self.pod_keys.len(),
@@ -643,6 +646,13 @@ impl ClusterState {
             journal_len,
             self.pod_keys.len(),
         );
+        let obs = phoenix_obs::global();
+        obs.incr(phoenix_obs::Counter::StateRestores);
+        obs.add(
+            phoenix_obs::Counter::JournalEntriesUndone,
+            (journal_len - snap.entries) as u64,
+        );
+        obs.gauge_max(phoenix_obs::Counter::JournalDepthMax, journal_len as u64);
         // Undo journal entries newest-first.
         while self.journal.as_ref().expect("journal is live").len() > snap.entries {
             let entry = self

@@ -248,23 +248,30 @@ pub fn plan_with_pool(
     config: &PhoenixConfig,
     pool: &Pool,
 ) -> PlanResult {
+    let obs = phoenix_obs::global();
+    obs.incr(phoenix_obs::Counter::ColdPlans);
+
     // --- Planner -------------------------------------------------------
     let t0 = Instant::now();
-    let specs: Vec<&AppSpec> = workload.apps().map(|(_, a)| a).collect();
-    let app_ranks: Vec<Vec<ServiceId>> =
-        pool.par_map(&specs, |app| app_rank(app, config.planner.traversal));
-    let capacity = state.healthy_capacity();
-    let rank = global_rank(
-        workload,
-        &app_ranks,
-        config.objective.as_ref(),
-        capacity,
-        &config.planner,
-    );
+    let rank = {
+        let _rank_timer = obs.phase(phoenix_obs::Phase::Rank);
+        let specs: Vec<&AppSpec> = workload.apps().map(|(_, a)| a).collect();
+        let app_ranks: Vec<Vec<ServiceId>> =
+            pool.par_map(&specs, |app| app_rank(app, config.planner.traversal));
+        let capacity = state.healthy_capacity();
+        global_rank(
+            workload,
+            &app_ranks,
+            config.objective.as_ref(),
+            capacity,
+            &config.planner,
+        )
+    };
     let planner_time = t0.elapsed();
 
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
+    let _pack_timer = obs.phase(phoenix_obs::Phase::Pack);
     let (plan, modes) = flatten_plan(workload, &rank.items);
     let mut pack_cfg = effective_packing(workload, &config.packing);
     pack_cfg.shards = pack_cfg.resolve_shards(state.node_count(), pool.threads());
@@ -277,6 +284,7 @@ pub fn plan_with_pool(
     } else {
         pack(&mut target, &plan, &pack_cfg)
     };
+    drop(_pack_timer);
     let scheduler_time = t1.elapsed();
 
     let actions = diff_states(state, &target);

@@ -265,6 +265,7 @@ pub fn global_rank_prepared<O: OperatorObjective + ?Sized>(
     let mut allocated = vec![0.0; n];
     let mut remaining = capacity.scalar();
     let mut items = Vec::new();
+    let obs = phoenix_obs::global();
 
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     for app in 0..n as u32 {
@@ -278,6 +279,10 @@ pub fn global_rank_prepared<O: OperatorObjective + ?Sized>(
         if e.scalar <= remaining + 1e-9 {
             remaining -= e.scalar;
             allocated[app.index()] += e.scalar;
+            if e.mode != ServingMode::Full {
+                // A degraded rung bought under crunch.
+                obs.incr(phoenix_obs::Counter::RungPurchases);
+            }
             items.push(GlobalRankItem {
                 app,
                 service: e.service,
@@ -289,6 +294,7 @@ pub fn global_rank_prepared<O: OperatorObjective + ?Sized>(
             }
         } else if cfg.continue_on_saturation {
             // Retire only this app's chain; other apps keep ranking.
+            obs.incr(phoenix_obs::Counter::ChainRetirements);
             continue;
         } else {
             // Algorithm 1 line 29: stop at the first container that no
@@ -380,6 +386,7 @@ pub fn global_rank_replay(
     let mut remaining = capacity.scalar();
     let mut items = Vec::new();
     let mut retired = vec![false; n];
+    let obs = phoenix_obs::global();
     for &(app, pos) in merge_order {
         if retired[app as usize] {
             continue;
@@ -388,6 +395,9 @@ pub fn global_rank_replay(
         if e.scalar <= remaining + 1e-9 {
             remaining -= e.scalar;
             allocated[app as usize] += e.scalar;
+            if e.mode != ServingMode::Full {
+                obs.incr(phoenix_obs::Counter::RungPurchases);
+            }
             items.push(GlobalRankItem {
                 app: AppId::new(app),
                 service: e.service,
@@ -395,6 +405,7 @@ pub fn global_rank_replay(
                 mode: e.mode,
             });
         } else if cfg.continue_on_saturation {
+            obs.incr(phoenix_obs::Counter::ChainRetirements);
             retired[app as usize] = true;
         } else {
             break;

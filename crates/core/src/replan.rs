@@ -233,13 +233,16 @@ impl ReplanCache {
         let fingerprints: Vec<u64> = pool.par_map(&specs, |app| app.fingerprint());
         let mut app_ranks: Vec<Vec<ServiceId>> = Vec::with_capacity(specs.len());
         let mut invalidated: Vec<usize> = Vec::new();
+        let obs = phoenix_obs::global();
         for (i, fp) in fingerprints.iter().enumerate() {
             let reusable = !traversal_changed
                 && self.fingerprints.get(i) == Some(fp)
                 && i < self.app_ranks.len();
             if reusable {
+                obs.incr(phoenix_obs::Counter::ReplanCacheHits);
                 app_ranks.push(std::mem::take(&mut self.app_ranks[i]));
             } else {
+                obs.incr(phoenix_obs::Counter::ReplanCacheMisses);
                 ranks_changed = true;
                 invalidated.push(i);
                 app_ranks.push(Vec::new());
@@ -307,16 +310,22 @@ pub fn replan_with_pool(
     delta: ReplanDelta,
     pool: &Pool,
 ) -> PlanResult {
+    let obs = phoenix_obs::global();
+    obs.incr(phoenix_obs::Counter::WarmReplans);
+
     // --- Planner -------------------------------------------------------
     let t0 = Instant::now();
+    let rank_timer = obs.phase(phoenix_obs::Phase::Rank);
     cache.refresh_epoch(workload, config, delta, pool);
 
     let capacity = state.healthy_capacity();
     let capacity_bits = (capacity.cpu.to_bits(), capacity.mem.to_bits());
     let rank = if cache.capacity_bits == Some(capacity_bits) && cache.rank.is_some() {
         // Same healthy capacity, same specs: the previous ranking stands.
+        obs.incr(phoenix_obs::Counter::RankFullReuses);
         cache.rank.clone().expect("checked above")
     } else if config.objective.capacity_invariant() {
+        obs.incr(phoenix_obs::Counter::MergeOrderReplays);
         let order = cache
             .merge_order
             .get_or_insert_with(|| merged_order(&cache.inputs, config.objective.as_ref()));
@@ -334,16 +343,19 @@ pub fn replan_with_pool(
             .as_ref()
             .is_some_and(|(s, _)| *s == shares);
         if replayable {
+            obs.incr(phoenix_obs::Counter::ShareOrderReplays);
             let (_, order) = cache.share_order.as_ref().expect("checked above");
             global_rank_replay(&cache.inputs, order, capacity, &config.planner)
         } else if cache.last_shares.as_ref() == Some(&shares) {
             // Second consecutive round on these shares: invest in the
             // replayable order now, amortized by the rounds that follow.
+            obs.incr(phoenix_obs::Counter::ShareInvestments);
             let order = merged_order_with(&cache.inputs, config.objective.as_ref(), &shares);
             let rank = global_rank_replay(&cache.inputs, &order, capacity, &config.planner);
             cache.share_order = Some((shares, order));
             rank
         } else {
+            obs.incr(phoenix_obs::Counter::ColdMerges);
             let rank = match config.objective.as_builtin() {
                 // Devirtualized merge: a direct call per candidate
                 // (identical floats, no vtable hop per pod).
@@ -418,10 +430,12 @@ pub fn replan_with_pool(
     }
     cache.capacity_bits = Some(capacity_bits);
     cache.rank = Some(rank.clone());
+    drop(rank_timer);
     let planner_time = t0.elapsed();
 
     // --- Scheduler -----------------------------------------------------
     let t1 = Instant::now();
+    let _pack_timer = obs.phase(phoenix_obs::Phase::Pack);
     let mut pack_cfg = effective_packing(workload, &config.packing);
     pack_cfg.shards = pack_cfg.resolve_shards(state.node_count(), pool.threads());
     let mut target = state.clone();
@@ -449,6 +463,7 @@ pub fn replan_with_pool(
         };
         (packing, ModeAssignment::empty())
     };
+    drop(_pack_timer);
     let scheduler_time = t1.elapsed();
 
     let actions = diff_from_outcome(state, &target, &packing);

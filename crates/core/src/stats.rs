@@ -1,5 +1,12 @@
 //! Small shared statistics helpers (percentiles for the latency models).
 //!
+//! The implementation lives in `phoenix_obs::stats` — the observability
+//! substrate is the one home for nearest-rank percentile math, so the
+//! latency tables in `phoenix-apps`, the campaign `replan_ms_p99`
+//! scoring, the criterion shim's median, and the wall-clock histograms
+//! all agree on the `⌈q·n⌉` convention. This module re-exports it under
+//! the historical `phoenix_core::stats` path.
+//!
 //! Percentiles use the **nearest-rank** definition: the p-th percentile of
 //! `n` sorted samples is the `⌈p·n⌉`-th smallest (1-based). This is the
 //! convention monitoring stacks report, and it is exact for the tiny
@@ -8,29 +15,7 @@
 //! samples must be the 19th value, not the 20th) and silently degenerates
 //! to the maximum for small `n`.
 
-/// Index of the nearest-rank `q`-quantile (`0.0 ≤ q ≤ 1.0`) in a sorted
-/// slice of length `n`.
-///
-/// Clamped so every `q` maps into `0..n`: `q = 0` yields the minimum,
-/// `q = 1` the maximum.
-///
-/// # Panics
-///
-/// Panics if `n == 0`.
-pub fn percentile_index(n: usize, q: f64) -> usize {
-    assert!(n > 0, "percentile of an empty sample set");
-    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
-    rank.clamp(1, n) - 1
-}
-
-/// Nearest-rank `q`-quantile of an **ascending-sorted** slice.
-///
-/// # Panics
-///
-/// Panics if `sorted` is empty.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    sorted[percentile_index(sorted.len(), q)]
-}
+pub use phoenix_obs::stats::{percentile, percentile_index, percentile_u64};
 
 #[cfg(test)]
 mod tests {
@@ -78,6 +63,11 @@ mod tests {
         assert_eq!(percentile_index(10, 1.0), 9);
         assert_eq!(percentile_index(10, -3.0), 0);
         assert_eq!(percentile_index(10, 2.0), 9);
+    }
+
+    #[test]
+    fn u64_variant_shares_the_convention() {
+        assert_eq!(percentile_u64(&[10, 20, 30, 50], 0.5), 20);
     }
 
     #[test]

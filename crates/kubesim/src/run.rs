@@ -349,6 +349,10 @@ pub fn simulate_from(
     let mut flap_rng = StdRng::seed_from_u64(config.seed ^ 0xF1A9_0000_F1A9_0000);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut trace = SimTrace::default();
+    // One handle for the whole run. Per-cell runs execute inside the
+    // campaign fan-out, so everything recorded here must be commutative
+    // (sums only) for the deterministic plane to stay thread-invariant.
+    let obs = phoenix_obs::global();
 
     // Control-plane view of the cluster.
     let mut state = ClusterState::new(scenario.node_capacities.iter().copied());
@@ -400,6 +404,7 @@ pub fn simulate_from(
         if now > horizon {
             break;
         }
+        obs.incr(phoenix_obs::Counter::SimEvents);
         match event {
             Event::Scenario(ScenarioKind::KubeletStop(nodes)) => {
                 if stop_kubelets(&nodes, &mut kubelet_alive, &mut kubelet_stopped_at, now) {
@@ -623,6 +628,8 @@ pub fn simulate_from(
                     let wl = surged.as_ref().unwrap_or(workload);
                     let modal = wl.has_modes();
                     let plan = policy.plan(wl, &state);
+                    obs.incr(phoenix_obs::Counter::SimPlans);
+                    obs.record_duration(phoenix_obs::Phase::Replan, plan.planning_time);
                     trace.plans.push((now, plan.planning_time));
                     trace.milestones.push(Milestone {
                         at: now,
@@ -833,6 +840,7 @@ pub fn simulate_from(
                 }
             }
             Event::ModeShiftApplied { pod, to } => {
+                obs.incr(phoenix_obs::Counter::SimModeShifts);
                 // Resize the live booking to the new mode's demand. The pod
                 // never stops serving: a shift is a config flip, not a
                 // restart. A grow that no longer fits (capacity changed
@@ -913,6 +921,10 @@ pub fn simulate_from(
         }
     }
     trace.milestones.sort_by_key(|m| m.at);
+    obs.add(
+        phoenix_obs::Counter::SimMilestones,
+        trace.milestones.len() as u64,
+    );
     trace
 }
 

@@ -1,0 +1,91 @@
+//! Nearest-rank latency summaries for the wall-clock plane.
+
+use crate::stats::percentile_u64;
+
+/// Min/percentile/max summary of one phase's duration samples, in
+/// microseconds. Produced by [`summarize`]; wall-clock plane only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (µs).
+    pub min_us: u64,
+    /// Nearest-rank median (µs).
+    pub p50_us: u64,
+    /// Nearest-rank 95th percentile (µs).
+    pub p95_us: u64,
+    /// Nearest-rank 99th percentile (µs).
+    pub p99_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+}
+
+/// Summarizes duration samples (µs) into a [`Summary`].
+///
+/// Returns `None` for an empty sample set instead of inventing a value —
+/// the edge cases (empty, single sample, all-equal) are pinned by unit
+/// tests because a histogram that lies at the edges lies everywhere.
+pub fn summarize(samples: &[u64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(Summary {
+        count: sorted.len(),
+        min_us: sorted[0],
+        p50_us: percentile_u64(&sorted, 0.50),
+        p95_us: percentile_u64(&sorted, 0.95),
+        p99_us: percentile_u64(&sorted, 0.99),
+        max_us: *sorted.last().expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_summary() {
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = summarize(&[42]).expect("one sample summarizes");
+        assert_eq!(
+            s,
+            Summary {
+                count: 1,
+                min_us: 42,
+                p50_us: 42,
+                p95_us: 42,
+                p99_us: 42,
+                max_us: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn all_equal_samples_collapse() {
+        let s = summarize(&[7; 100]).expect("non-empty");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_us, 7);
+        assert_eq!(s.p50_us, 7);
+        assert_eq!(s.p95_us, 7);
+        assert_eq!(s.p99_us, 7);
+        assert_eq!(s.max_us, 7);
+    }
+
+    #[test]
+    fn distinct_samples_pick_nearest_rank() {
+        // 1..=100 sorted: p50 = 50th smallest, p95 = 95th, p99 = 99th.
+        let samples: Vec<u64> = (1..=100).rev().collect();
+        let s = summarize(&samples).expect("non-empty");
+        assert_eq!(s.min_us, 1);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+    }
+}

@@ -303,6 +303,7 @@ pub fn run_hunt_with(
             .flat_map(|ci| (0..policies.len()).map(move |pi| (ci, pi)))
             .collect();
         let sigs = pool.par_map(&jobs, |&(ci, pi)| {
+            phoenix_obs::global().incr(phoenix_obs::Counter::HuntEvaluations);
             signature_of_with(
                 workload,
                 &population[ci],

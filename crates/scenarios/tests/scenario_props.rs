@@ -67,7 +67,12 @@ proptest! {
             prop_assert_eq!(a.worst_c1_recovery_ms, b.worst_c1_recovery_ms);
             prop_assert_eq!(a.rto_satisfied, b.rto_satisfied);
         }
-        prop_assert_eq!(seq.scorecards, par.scorecards);
+        // `same_results`, not `==`: `replan_ms_p99` is wall-clock (the
+        // phoenix-obs quarantined plane) and may differ between runs.
+        prop_assert_eq!(seq.scorecards.len(), par.scorecards.len());
+        for (a, b) in seq.scorecards.iter().zip(&par.scorecards) {
+            prop_assert!(a.same_results(b));
+        }
     }
 
     /// (c) A doc holding only stop/start events compiles to a scenario
@@ -144,6 +149,14 @@ fn fixed_seed_campaign_four_by_five_is_pool_invariant() {
     let cfg = CampaignConfig::default();
     let seq = run_campaign_on(&w, &suite, &policies, &cfg, &Pool::sequential()).unwrap();
     let par = run_campaign_on(&w, &suite, &policies, &cfg, &Pool::new(4)).unwrap();
-    assert_eq!(seq.scorecards, par.scorecards);
-    assert_eq!(seq.scores, par.scores);
+    // `same_results`, not `==`: `replan_ms_p99` is wall-clock (the
+    // phoenix-obs quarantined plane) and may differ between runs.
+    assert_eq!(seq.scorecards.len(), par.scorecards.len());
+    for (a, b) in seq.scorecards.iter().zip(&par.scorecards) {
+        assert!(a.same_results(b), "{} diverged across pools", a.family);
+    }
+    assert_eq!(seq.scores.len(), par.scores.len());
+    for (a, b) in seq.scores.iter().zip(&par.scores) {
+        assert!(a.same_results(b), "{} diverged across pools", a.scenario);
+    }
 }

@@ -71,7 +71,9 @@ impl Bencher {
     }
 
     /// `(min, median, max)` of the recorded samples (nearest-rank
-    /// median: upper of the two middle samples for even counts).
+    /// median via `phoenix_obs::stats` — the workspace's one percentile
+    /// implementation — so for even counts this is the *lower* of the
+    /// two middle samples, matching every other report in the repo).
     fn stats(&self) -> (Duration, Duration, Duration) {
         if self.timings.is_empty() {
             return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
@@ -80,7 +82,7 @@ impl Bencher {
         sorted.sort_unstable();
         (
             sorted[0],
-            sorted[sorted.len() / 2],
+            sorted[phoenix_obs::stats::percentile_index(sorted.len(), 0.5)],
             *sorted.last().expect("non-empty"),
         )
     }
@@ -212,10 +214,11 @@ mod tests {
         assert_eq!(min, Duration::from_micros(10));
         assert_eq!(median, Duration::from_micros(30));
         assert_eq!(max, Duration::from_micros(50));
-        // Even count: the upper of the two middle samples.
+        // Even count: nearest rank (⌈0.5·4⌉ = 2nd smallest) picks the
+        // lower of the two middle samples.
         b.timings.pop();
         let (_, median, _) = b.stats();
-        assert_eq!(median, Duration::from_micros(30));
+        assert_eq!(median, Duration::from_micros(20));
         b.timings.clear();
         assert_eq!(b.stats(), (Duration::ZERO, Duration::ZERO, Duration::ZERO));
     }

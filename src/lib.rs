@@ -22,6 +22,7 @@
 //! | [`adaptlab`] | `phoenix-adaptlab` | trace generation, tagging, metrics, sweeps |
 //! | [`chaos`] | `phoenix-chaos` | criticality-tag chaos audits |
 //! | [`exec`] | `phoenix-exec` | deterministic data-parallel pool (`PHOENIX_THREADS`) |
+//! | [`obs`] | `phoenix-obs` | two-plane observability (deterministic counters + wall-clock histograms) |
 //!
 //! # Quickstart
 //!
@@ -65,4 +66,5 @@ pub use phoenix_dgraph as dgraph;
 pub use phoenix_exec as exec;
 pub use phoenix_kubesim as kubesim;
 pub use phoenix_lp as lp;
+pub use phoenix_obs as obs;
 pub use phoenix_scenarios as scenarios;
